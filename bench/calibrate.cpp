@@ -1,0 +1,45 @@
+/// \file calibrate.cpp
+/// Calibration tool: sweeps the measurement-error axis (the x-axis of
+/// Figs. 1(g) and 11(a)) for several noise-margin factors, plus a density
+/// split table at zero error. Used to pick the library defaults that
+/// reproduce the paper's operating point.
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "model/zoo.hpp"
+#include "net/builder.hpp"
+
+using namespace ballfit;
+
+int main() {
+  const model::Scenario sc = model::sphere_world();
+  Rng rng(1);
+  net::BuildOptions build;
+  build.surface_count = 1600;
+  build.interior_count = 2000;
+  net::BuildDiagnostics diag;
+  const net::Network net = net::build_network(*sc.shape, build, rng, &diag);
+  std::printf("network: %zu nodes, avg degree %.1f\n", net.num_nodes(),
+              diag.average_degree);
+
+  Table table({"factor", "error", "found", "correct", "mistaken", "missing"});
+  for (double factor : {3.0}) {
+    for (int epct = 0; epct <= 40; epct += 20) {
+      core::PipelineConfig cfg;
+      cfg.measurement_error = epct / 100.0;
+      cfg.ubf.noise_margin_factor = factor;
+      const core::DetectionStats stats = core::detect_and_evaluate(net, cfg);
+      table.add_row({format_double(factor, 2), std::to_string(epct) + "%",
+                     format_percent(stats.found_rate()),
+                     format_percent(stats.correct_rate()),
+                     format_percent(stats.mistaken_rate()),
+                     format_percent(stats.missing_rate())});
+    }
+  }
+  table.print();
+  return 0;
+}

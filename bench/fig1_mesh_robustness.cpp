@@ -1,0 +1,68 @@
+/// \file fig1_mesh_robustness.cpp
+/// Reproduces the Fig. 1 walkthrough panels (b)–(f) and the mesh-robustness
+/// panels (j)–(l): the full pipeline — boundary nodes, landmarks, CDG, CDM,
+/// triangulation, edge flip — on the Fig. 1 network at 0 / 20 / 30 / 40 %
+/// distance measurement error, reporting per-stage sizes and how far the
+/// reconstructed surfaces deviate from the true model.
+///
+/// Flags: --seed <n>, --scale <x>.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "mesh/metrics.hpp"
+#include "mesh/obj_export.hpp"
+#include "mesh/surface_builder.hpp"
+
+using namespace ballfit;
+
+int main(int argc, char** argv) {
+  const auto seed =
+      static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
+  const double scale = bench::double_flag(argc, argv, "--scale", 0.8);
+
+  std::printf("== Fig. 1(b-f, j-l): surface construction under error ==\n");
+  const model::Scenario scenario = model::fig1_network(scale);
+  const net::Network network =
+      bench::build_scenario_network(scenario, seed, 18.8);
+
+  Table table({"error", "boundary", "groups", "surf#", "landmarks", "cdg",
+               "cdm", "added", "flips", "edges", "tris", "2face",
+               "vert_dev", "cent_dev"});
+
+  for (int epct : {0, 20, 30, 40}) {
+    core::PipelineConfig cfg;
+    cfg.measurement_error = epct / 100.0;
+    cfg.noise_seed = seed;
+    const core::PipelineResult result = core::detect_boundaries(network, cfg);
+    const mesh::SurfaceResult surfaces =
+        mesh::build_surfaces(network, result.boundary, result.groups);
+
+    for (std::size_t si = 0; si < surfaces.surfaces.size(); ++si) {
+      const auto& s = surfaces.surfaces[si];
+      const auto q = mesh::evaluate_surface(s, *scenario.shape);
+      table.add_row({std::to_string(epct) + "%",
+                     std::to_string(result.num_boundary()),
+                     std::to_string(result.groups.count()),
+                     std::to_string(si), std::to_string(s.landmarks.size()),
+                     std::to_string(s.cdg_edges), std::to_string(s.cdm_edges),
+                     std::to_string(s.added_edges), std::to_string(s.flips),
+                     std::to_string(q.num_edges),
+                     std::to_string(q.num_triangles),
+                     format_percent(q.two_face_edge_share, 0),
+                     format_double(q.vertex_deviation_mean, 3),
+                     format_double(q.centroid_deviation_mean, 3)});
+    }
+    const std::string path =
+        "fig1_mesh_error" + std::to_string(epct) + ".obj";
+    mesh::write_obj(surfaces, path);
+    std::fprintf(stderr, "  wrote %s\n", path.c_str());
+  }
+
+  table.print();
+  std::printf("\n(The paper's qualitative claim: the triangular meshes at "
+              "20-40%% error are similar to the error-free one.)\n");
+  return 0;
+}

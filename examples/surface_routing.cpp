@@ -1,0 +1,115 @@
+/// \file surface_routing.cpp
+/// Why the paper insists on *locally planarized 2-manifold* surfaces:
+/// "to enable available graph theory tools to be applied on 3D surfaces,
+/// such as embedding, localization, partition, and greedy routing". This
+/// example builds the boundary mesh of a sphere network and runs greedy
+/// geographic routing over the landmark graph, reporting delivery rate and
+/// hop stretch vs shortest paths — the classic consumer of a well-formed
+/// boundary surface.
+///
+/// Usage: surface_routing [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "mesh/surface_builder.hpp"
+#include "model/zoo.hpp"
+#include "net/builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ballfit;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  const model::Scenario scenario = model::sphere_world(0.9);
+  Rng rng(seed);
+  net::BuildOptions build =
+      net::options_for_target_degree(*scenario.shape, 18.5, 0.5, rng);
+  build.interior_margin = 0.35;  // TetGen-like interior vertex clearance
+  const net::Network network =
+      net::build_network(*scenario.shape, build, rng);
+
+  core::PipelineConfig config;
+  config.use_true_coordinates = true;  // focus on the mesh, not ranging
+  const core::PipelineResult result = core::detect_boundaries(network, config);
+  const mesh::SurfaceResult surfaces =
+      mesh::build_surfaces(network, result.boundary, result.groups);
+  if (surfaces.surfaces.empty()) {
+    std::printf("no surface reconstructed\n");
+    return 1;
+  }
+  const mesh::TriMesh& mesh = surfaces.surfaces[0].mesh;
+  const auto n = static_cast<std::uint32_t>(mesh.num_vertices());
+  std::printf("routing over a boundary mesh with %u landmark vertices, %zu "
+              "edges, %zu triangles\n",
+              n, mesh.num_edges(), mesh.triangles().size());
+
+  // BFS hop distance between mesh vertices (ground truth for stretch).
+  auto bfs_hops = [&](std::uint32_t s, std::uint32_t t) -> int {
+    std::vector<int> dist(n, -1);
+    std::deque<std::uint32_t> q{s};
+    dist[s] = 0;
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop_front();
+      if (u == t) return dist[t];
+      for (std::uint32_t v : mesh.neighbors(u))
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          q.push_back(v);
+        }
+    }
+    return -1;
+  };
+
+  // Greedy geographic routing: forward to the neighbor closest to the
+  // destination; fail on a local minimum.
+  auto greedy = [&](std::uint32_t s, std::uint32_t t) -> int {
+    std::uint32_t cur = s;
+    int hops = 0;
+    while (cur != t && hops < static_cast<int>(2 * n)) {
+      std::uint32_t best = cur;
+      double best_d = mesh.position(cur).distance_to(mesh.position(t));
+      for (std::uint32_t v : mesh.neighbors(cur)) {
+        const double d = mesh.position(v).distance_to(mesh.position(t));
+        if (d < best_d) {
+          best_d = d;
+          best = v;
+        }
+      }
+      if (best == cur) return -1;  // stuck in a local minimum
+      cur = best;
+      ++hops;
+    }
+    return cur == t ? hops : -1;
+  };
+
+  Rng pick(seed ^ 0xabcdef);
+  int delivered = 0, attempted = 0;
+  double stretch_sum = 0.0;
+  int stretch_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = static_cast<std::uint32_t>(pick.uniform_index(n));
+    const auto t = static_cast<std::uint32_t>(pick.uniform_index(n));
+    if (s == t) continue;
+    const int shortest = bfs_hops(s, t);
+    if (shortest < 0) continue;  // disconnected pair (fragmented mesh)
+    ++attempted;
+    const int g = greedy(s, t);
+    if (g >= 0) {
+      ++delivered;
+      stretch_sum += static_cast<double>(g) / std::max(1, shortest);
+      ++stretch_count;
+    }
+  }
+  std::printf("greedy delivery: %d/%d (%.0f%%), mean hop stretch %.2f\n",
+              delivered, attempted,
+              100.0 * delivered / std::max(1, attempted),
+              stretch_count ? stretch_sum / stretch_count : 0.0);
+  std::printf("(a well-formed local 2-manifold keeps greedy routing "
+              "deliverable on most pairs; holes/defects show up as local "
+              "minima)\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "baselines/degree_threshold.hpp"
+
+namespace ballfit::baselines {
+
+std::vector<bool> degree_threshold_detect(
+    const net::Network& network, const DegreeThresholdConfig& config) {
+  const double cutoff = config.factor * network.average_degree();
+  std::vector<bool> out(network.num_nodes(), false);
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+    out[v] = static_cast<double>(network.degree(v)) < cutoff;
+  }
+  return out;
+}
+
+}  // namespace ballfit::baselines

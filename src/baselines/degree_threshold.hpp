@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file degree_threshold.hpp
+/// Naive baseline: a node is a boundary node iff its degree falls below a
+/// fraction of the network-average degree. Boundary nodes see roughly half
+/// the neighborhood ball of interior nodes, so the heuristic is not absurd —
+/// but it cannot distinguish boundary from locally sparse regions and has no
+/// notion of holes. Included as the floor any geometric method must beat.
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace ballfit::baselines {
+
+struct DegreeThresholdConfig {
+  /// Flag nodes with degree < factor × average degree.
+  double factor = 0.7;
+};
+
+std::vector<bool> degree_threshold_detect(
+    const net::Network& network, const DegreeThresholdConfig& config = {});
+
+}  // namespace ballfit::baselines

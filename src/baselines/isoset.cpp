@@ -1,0 +1,34 @@
+#include "baselines/isoset.hpp"
+
+#include "common/assert.hpp"
+#include "net/graph.hpp"
+
+namespace ballfit::baselines {
+
+std::vector<bool> isoset_detect(const net::Network& network,
+                                const IsosetConfig& config) {
+  const std::size_t n = network.num_nodes();
+  std::vector<bool> out(n, false);
+  if (n == 0) return out;
+  BALLFIT_REQUIRE(config.num_beacons > 0, "need at least one beacon");
+
+  Rng rng(config.seed);
+  for (std::size_t b = 0; b < config.num_beacons; ++b) {
+    const auto beacon = static_cast<net::NodeId>(rng.uniform_index(n));
+    const auto dist = net::hop_distances(network, beacon, nullptr);
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (dist[v] == net::kUnreachable || v == beacon) continue;
+      bool crest = true;
+      for (net::NodeId u : network.neighbors(v)) {
+        if (dist[u] != net::kUnreachable && dist[u] > dist[v]) {
+          crest = false;
+          break;
+        }
+      }
+      if (crest) out[v] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace ballfit::baselines

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file isoset.hpp
+/// Beacon/isoset hole-detection baseline, after Funke (DIALM-POMC 2005,
+/// paper reference [11]), lifted from 2D to 3D.
+///
+/// The idea: flood hop counts from a few beacons; the isosets (nodes at
+/// equal hop distance) sweep the network like wavefronts. Where a wavefront
+/// is interrupted — a node with no neighbor *farther* from the beacon —
+/// the wave has hit a boundary, so such "crest" nodes are flagged. The
+/// method is connectivity-only (no ranging needed), but as the paper notes
+/// it "does not guarantee to discover the complete boundary of every hole";
+/// accuracy grows with the number of beacons.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::baselines {
+
+struct IsosetConfig {
+  /// Number of beacons to flood from (chosen uniformly at random).
+  std::size_t num_beacons = 8;
+  /// RNG seed for beacon selection.
+  std::uint64_t seed = 42;
+};
+
+/// Flags nodes that are hop-distance crests for at least one beacon.
+std::vector<bool> isoset_detect(const net::Network& network,
+                                const IsosetConfig& config = {});
+
+}  // namespace ballfit::baselines

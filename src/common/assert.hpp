@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file assert.hpp
+/// Invariant checking for the ballfit library.
+///
+/// `BALLFIT_ASSERT` guards internal invariants: it is active in all build
+/// types (the library is simulation-grade, correctness dominates speed) and
+/// throws `ballfit::AssertionError` so tests can observe violations instead
+/// of aborting the whole process.
+
+#include <stdexcept>
+#include <string>
+
+namespace ballfit {
+
+/// Thrown when an internal invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::string full = std::string("assertion failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw AssertionError(full);
+}
+}  // namespace detail
+
+}  // namespace ballfit
+
+#define BALLFIT_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ballfit::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define BALLFIT_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ballfit::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+#define BALLFIT_REQUIRE(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) throw ::ballfit::InvalidArgument((msg));                 \
+  } while (false)

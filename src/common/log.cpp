@@ -1,0 +1,29 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace ballfit {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace ballfit

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging to stderr.
+///
+/// The library itself logs sparingly (benches and examples narrate their own
+/// progress); logging exists mainly so long sweeps can report per-stage
+/// timing when `Log::set_level(Level::kDebug)` is enabled.
+
+#include <sstream>
+#include <string>
+
+namespace ballfit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log sink. Not thread-safe by design: the simulator is
+/// single-threaded and benches log only from the main thread.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  static void write(LogLevel level, const std::string& message);
+
+  template <typename... Args>
+  static void debug(const Args&... args) {
+    emit(LogLevel::kDebug, args...);
+  }
+  template <typename... Args>
+  static void info(const Args&... args) {
+    emit(LogLevel::kInfo, args...);
+  }
+  template <typename... Args>
+  static void warn(const Args&... args) {
+    emit(LogLevel::kWarn, args...);
+  }
+  template <typename... Args>
+  static void error(const Args&... args) {
+    emit(LogLevel::kError, args...);
+  }
+
+ private:
+  template <typename... Args>
+  static void emit(LogLevel level, const Args&... args) {
+    if (level < Log::level()) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    write(level, oss.str());
+  }
+};
+
+}  // namespace ballfit

@@ -1,0 +1,10 @@
+#include "common/parallel.hpp"
+
+namespace ballfit {
+
+unsigned default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace ballfit

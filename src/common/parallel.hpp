@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Minimal blocked parallel-for over an index range.
+///
+/// The per-node stages (local MDS + unit-ball test) are embarrassingly
+/// parallel and read-only over shared state, so a plain thread split is all
+/// the machinery we need — no pools, no work stealing.
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ballfit {
+
+/// Invokes `fn(i)` for every i in [0, count). With `threads <= 1` (or a
+/// tiny range) runs inline; otherwise splits the range into contiguous
+/// blocks, one per worker. `fn` must be safe to call concurrently on
+/// distinct indices.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, unsigned threads) {
+  if (threads <= 1 || count < 2 * threads) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t block = (count + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * block;
+    const std::size_t end = std::min(count, begin + block);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+/// The default worker count: hardware concurrency, at least 1.
+unsigned default_threads();
+
+}  // namespace ballfit

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock stopwatch for coarse stage timing in benches and examples.
+
+#include <chrono>
+
+namespace ballfit {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ballfit

@@ -1,0 +1,37 @@
+#include "common/strings.hpp"
+
+#include <cstdio>
+
+namespace ballfit {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_double(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int digits) {
+  return format_double(fraction * 100.0, digits) + "%";
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace ballfit

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small formatting helpers shared by benches and reports.
+
+#include <string>
+#include <vector>
+
+namespace ballfit {
+
+/// Joins `parts` with `sep` ("a", "b" → "a,b").
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Fixed-precision decimal formatting ("3.14159", digits=2 → "3.14").
+std::string format_double(double value, int digits);
+
+/// Percentage formatting: 0.62345 → "62.3%".
+std::string format_percent(double fraction, int digits = 1);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace ballfit

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace ballfit {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BALLFIT_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  BALLFIT_REQUIRE(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    out += pad_left(headers_[c], widths[c]);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      out += pad_left(row[c], widths[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out = join(headers_, ",") + "\n";
+  for (const auto& row : rows_) out += join(row, ",") + "\n";
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace ballfit

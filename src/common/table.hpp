@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned text tables for bench output.
+///
+/// Every figure-reproduction bench prints its series through `Table`, so the
+/// output reads like the rows of the paper's plots and can be diffed between
+/// runs. Cells are strings; numeric helpers forward through strings.hpp.
+
+#include <string>
+#include <vector>
+
+namespace ballfit {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders the table with a header separator and right-aligned cells.
+  std::string to_string() const;
+
+  /// Renders as comma-separated values (header row first).
+  std::string to_csv() const;
+
+  /// Convenience: renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ballfit

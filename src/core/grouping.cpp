@@ -1,0 +1,35 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+#include "sim/protocols.hpp"
+
+namespace ballfit::core {
+
+BoundaryGroups group_boundaries(const net::Network& network,
+                                const std::vector<bool>& boundary,
+                                bool use_message_passing,
+                                sim::RunStats* stats) {
+  BALLFIT_REQUIRE(boundary.size() == network.num_nodes(),
+                  "boundary mask size mismatch");
+
+  BoundaryGroups out;
+  out.leader = use_message_passing
+                   ? sim::leader_flood(network, boundary, stats)
+                   : sim::leader_flood_oracle(network, boundary);
+
+  std::map<net::NodeId, std::vector<net::NodeId>> by_leader;
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+    if (out.leader[v] != net::kInvalidNode) by_leader[out.leader[v]].push_back(v);
+  }
+  out.groups.reserve(by_leader.size());
+  for (auto& [leader, members] : by_leader) {
+    std::sort(members.begin(), members.end());
+    out.groups.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace ballfit::core

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file grouping.hpp
+/// Boundary grouping (paper Sec. II-B, last paragraph).
+///
+/// Nodes on the same boundary are connected through boundary nodes only;
+/// nodes on different boundaries are not. A min-id leader flood over the
+/// boundary subgraph therefore labels each closed boundary with a unique
+/// leader — one group per inner hole plus one for the outer boundary.
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace ballfit::core {
+
+struct BoundaryGroups {
+  /// Per node: the leader (smallest id) of its boundary, or kInvalidNode
+  /// for non-boundary nodes.
+  std::vector<net::NodeId> leader;
+  /// The groups themselves, sorted by leader id; each group's nodes sorted.
+  std::vector<std::vector<net::NodeId>> groups;
+
+  std::size_t count() const { return groups.size(); }
+};
+
+/// Groups the boundary nodes. With `use_message_passing` the grouping runs
+/// as the leader-flood protocol; otherwise as a component oracle.
+BoundaryGroups group_boundaries(const net::Network& network,
+                                const std::vector<bool>& boundary,
+                                bool use_message_passing = true,
+                                sim::RunStats* stats = nullptr);
+
+}  // namespace ballfit::core

@@ -1,0 +1,26 @@
+#include "core/iff.hpp"
+
+#include "common/assert.hpp"
+#include "sim/protocols.hpp"
+
+namespace ballfit::core {
+
+std::vector<bool> iff_filter(const net::Network& network,
+                             const std::vector<bool>& candidates,
+                             const IffConfig& config, sim::RunStats* stats) {
+  BALLFIT_REQUIRE(candidates.size() == network.num_nodes(),
+                  "candidate mask size mismatch");
+
+  const std::vector<std::uint32_t> counts =
+      config.use_message_passing
+          ? sim::ttl_flood_count(network, candidates, config.ttl, stats)
+          : sim::ttl_flood_count_oracle(network, candidates, config.ttl);
+
+  std::vector<bool> boundary(network.num_nodes(), false);
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+    boundary[v] = candidates[v] && counts[v] >= config.theta;
+  }
+  return boundary;
+}
+
+}  // namespace ballfit::core

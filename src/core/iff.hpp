@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file iff.hpp
+/// Isolated Fragment Filtering (paper Sec. II-B).
+///
+/// UBF occasionally marks interior nodes as boundary (noisy coordinates,
+/// local low-density pockets), producing small isolated fragments. Real
+/// boundaries form large, well-connected closed surfaces, so: every
+/// UBF-positive node floods a packet with TTL = T over UBF-positive nodes
+/// only and counts the distinct originators it hears; fewer than θ means
+/// the node sits in a fragment too small to be a boundary and it demotes
+/// itself. Defaults θ = 20, T = 3 come from the minimal hole (icosahedron:
+/// ≥ 20 surface nodes, ≤ 3 hops across).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace ballfit::core {
+
+struct IffConfig {
+  /// θ: minimum number of distinct flooding originators heard.
+  std::uint32_t theta = 20;
+  /// T: flooding TTL in hops.
+  std::uint32_t ttl = 3;
+  /// Run the real message-passing protocol (default) or the BFS oracle
+  /// (identical output, faster for large sweeps).
+  bool use_message_passing = true;
+};
+
+/// Applies IFF to the UBF candidate set; returns the surviving boundary
+/// flags. `stats`, when non-null, receives the protocol cost.
+std::vector<bool> iff_filter(const net::Network& network,
+                             const std::vector<bool>& candidates,
+                             const IffConfig& config = {},
+                             sim::RunStats* stats = nullptr);
+
+}  // namespace ballfit::core

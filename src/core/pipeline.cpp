@@ -1,0 +1,67 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+#include "localization/local_frame.hpp"
+
+namespace ballfit::core {
+
+std::size_t PipelineResult::num_candidates() const {
+  return static_cast<std::size_t>(
+      std::count(ubf_candidates.begin(), ubf_candidates.end(), true));
+}
+
+std::size_t PipelineResult::num_boundary() const {
+  return static_cast<std::size_t>(
+      std::count(boundary.begin(), boundary.end(), true));
+}
+
+PipelineResult detect_boundaries(const net::Network& network,
+                                 const PipelineConfig& config) {
+  PipelineResult result;
+  const unsigned threads =
+      config.threads == 0 ? default_threads() : config.threads;
+
+  // Nodes know their ranging error specification; the UBF emptiness slack
+  // scales with it unless the caller already set a hint explicitly.
+  UbfConfig ubf_config = config.ubf;
+  if (ubf_config.measurement_error_hint == 0.0 &&
+      !config.use_true_coordinates) {
+    ubf_config.measurement_error_hint = config.measurement_error;
+  }
+  const UnitBallFitting ubf(network, ubf_config);
+
+  // --- Phase 1: Unit Ball Fitting on per-node local frames. The per-node
+  // work (local MDS + ball tests) is independent and read-only, so it is
+  // split across threads; vector<bool> is not safe for concurrent writes,
+  // hence the char staging buffer.
+  if (config.use_true_coordinates) {
+    result.ubf_candidates = ubf.detect_with_true_coordinates();
+  } else {
+    const net::NoisyDistanceModel model(network, config.measurement_error,
+                                        config.noise_seed);
+    const localization::Localizer localizer(network, model);
+    result.ubf_candidates = ubf.detect(localizer, threads);
+  }
+
+  // --- Phase 2: Isolated Fragment Filtering.
+  result.boundary =
+      iff_filter(network, result.ubf_candidates, config.iff, &result.iff_cost);
+
+  // --- Grouping.
+  if (config.group) {
+    result.groups =
+        group_boundaries(network, result.boundary,
+                         config.iff.use_message_passing, &result.grouping_cost);
+  }
+  return result;
+}
+
+DetectionStats detect_and_evaluate(const net::Network& network,
+                                   const PipelineConfig& config) {
+  const PipelineResult result = detect_boundaries(network, config);
+  return evaluate_detection(network, result.boundary);
+}
+
+}  // namespace ballfit::core

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// End-to-end boundary node identification (paper Sec. II):
+///   measurements → local MDS frames → UBF → IFF → grouping.
+///
+/// This is the primary public entry point of the library. Everything it
+/// consumes is one-hop-local per node; `PipelineResult` carries the outputs
+/// of every stage so benches and tests can inspect intermediates.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/grouping.hpp"
+#include "core/iff.hpp"
+#include "core/stats.hpp"
+#include "core/ubf.hpp"
+#include "net/measurement.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace ballfit::core {
+
+struct PipelineConfig {
+  UbfConfig ubf;
+  IffConfig iff;
+  /// Distance measurement error as a fraction of the radio range
+  /// (Sec. IV-A sweeps this from 0 to 1).
+  double measurement_error = 0.0;
+  /// Seed for the measurement noise process.
+  std::uint64_t noise_seed = 1;
+  /// Skip local MDS and hand UBF the true coordinates — the noiseless
+  /// reference configuration (and a localization ablation).
+  bool use_true_coordinates = false;
+  /// Run grouping after IFF.
+  bool group = true;
+  /// Worker threads for the per-node stages (0 = hardware concurrency).
+  unsigned threads = 0;
+};
+
+struct PipelineResult {
+  /// Stage outputs.
+  std::vector<bool> ubf_candidates;  ///< after Phase 1 (UBF)
+  std::vector<bool> boundary;        ///< after Phase 2 (IFF) — final answer
+  BoundaryGroups groups;             ///< boundary grouping (if requested)
+
+  /// Cost of the IFF flooding protocol.
+  sim::RunStats iff_cost;
+  /// Cost of the grouping protocol.
+  sim::RunStats grouping_cost;
+
+  /// Convenience: number of nodes flagged after each phase.
+  std::size_t num_candidates() const;
+  std::size_t num_boundary() const;
+};
+
+/// Runs the full detection pipeline on `network`.
+PipelineResult detect_boundaries(const net::Network& network,
+                                 const PipelineConfig& config = {});
+
+/// Runs detection and scores it against ground truth in one call.
+DetectionStats detect_and_evaluate(const net::Network& network,
+                                   const PipelineConfig& config = {});
+
+}  // namespace ballfit::core

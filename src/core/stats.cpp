@@ -1,0 +1,114 @@
+#include "core/stats.hpp"
+
+#include "common/assert.hpp"
+#include "net/graph.hpp"
+
+namespace ballfit::core {
+
+namespace {
+
+double rate(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+HopDistribution to_distribution(const std::array<std::size_t, 4>& counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  HopDistribution d{};
+  for (std::size_t i = 0; i < 4; ++i) d[i] = rate(counts[i], total);
+  return d;
+}
+
+void bucket_hops(std::uint32_t hops, std::array<std::size_t, 4>& counts) {
+  if (hops >= 1 && hops <= 3) {
+    ++counts[hops - 1];
+  } else {
+    ++counts[3];  // >3 hops or unreachable
+  }
+}
+
+}  // namespace
+
+double DetectionStats::found_rate() const { return rate(found, true_boundary); }
+double DetectionStats::correct_rate() const {
+  return rate(correct, true_boundary);
+}
+double DetectionStats::mistaken_rate() const {
+  return rate(mistaken, true_boundary);
+}
+double DetectionStats::missing_rate() const {
+  return rate(missing, true_boundary);
+}
+
+HopDistribution DetectionStats::mistaken_hops() const {
+  return to_distribution(mistaken_hop_counts);
+}
+HopDistribution DetectionStats::missing_hops() const {
+  return to_distribution(missing_hop_counts);
+}
+
+DetectionStats evaluate_detection(const net::Network& network,
+                                  const std::vector<bool>& detected) {
+  BALLFIT_REQUIRE(detected.size() == network.num_nodes(),
+                  "detection mask size mismatch");
+  DetectionStats s;
+  s.total_nodes = network.num_nodes();
+
+  std::vector<net::NodeId> correct_nodes;
+  std::vector<net::NodeId> mistaken_nodes;
+  std::vector<net::NodeId> missing_nodes;
+  for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+    const bool truth = network.is_ground_truth_boundary(v);
+    if (truth) ++s.true_boundary;
+    if (detected[v]) {
+      ++s.found;
+      if (truth) {
+        ++s.correct;
+        correct_nodes.push_back(v);
+      } else {
+        ++s.mistaken;
+        mistaken_nodes.push_back(v);
+      }
+    } else if (truth) {
+      ++s.missing;
+      missing_nodes.push_back(v);
+    }
+  }
+
+  // Hop distance from every node to the nearest correctly identified
+  // boundary node (over the full graph — packets are not restricted here,
+  // the metric is purely geometric closeness in hops).
+  if (!correct_nodes.empty()) {
+    const net::MultiSourceBfs bfs =
+        net::multi_source_bfs(network, correct_nodes);
+    for (net::NodeId v : mistaken_nodes)
+      bucket_hops(bfs.distance[v], s.mistaken_hop_counts);
+    for (net::NodeId v : missing_nodes)
+      bucket_hops(bfs.distance[v], s.missing_hop_counts);
+  } else {
+    for (std::size_t i = 0; i < mistaken_nodes.size(); ++i)
+      ++s.mistaken_hop_counts[3];
+    for (std::size_t i = 0; i < missing_nodes.size(); ++i)
+      ++s.missing_hop_counts[3];
+  }
+  return s;
+}
+
+DetectionStats merge_stats(const std::vector<DetectionStats>& parts) {
+  DetectionStats out;
+  for (const DetectionStats& p : parts) {
+    out.total_nodes += p.total_nodes;
+    out.true_boundary += p.true_boundary;
+    out.found += p.found;
+    out.correct += p.correct;
+    out.mistaken += p.mistaken;
+    out.missing += p.missing;
+    for (std::size_t i = 0; i < 4; ++i) {
+      out.mistaken_hop_counts[i] += p.mistaken_hop_counts[i];
+      out.missing_hop_counts[i] += p.missing_hop_counts[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace ballfit::core

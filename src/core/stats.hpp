@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file stats.hpp
+/// Detection-quality metrics matching the paper's evaluation
+/// (Figs. 1(g)–1(i) and 11(a)–11(c)).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace ballfit::core {
+
+/// Hop-distance histogram buckets: index h−1 holds the share of nodes at
+/// exactly h hops for h = 1..3; index 3 aggregates > 3 hops (the paper's
+/// plots stop at 3 because nothing lands beyond).
+using HopDistribution = std::array<double, 4>;
+
+struct DetectionStats {
+  std::size_t total_nodes = 0;
+  std::size_t true_boundary = 0;   ///< ground-truth boundary node count
+  std::size_t found = 0;           ///< nodes the algorithm flagged
+  std::size_t correct = 0;         ///< flagged ∧ ground truth
+  std::size_t mistaken = 0;        ///< flagged ∧ interior
+  std::size_t missing = 0;         ///< ground truth ∧ not flagged
+
+  /// Fractions of the ground-truth boundary population (Fig. 11(a) y-axis).
+  double found_rate() const;
+  double correct_rate() const;
+  double mistaken_rate() const;
+  double missing_rate() const;
+
+  /// Raw bucket counts (1, 2, 3, >3 hops) — kept as counts so that runs can
+  /// be pooled exactly (`merge_stats`).
+  std::array<std::size_t, 4> mistaken_hop_counts{};
+  std::array<std::size_t, 4> missing_hop_counts{};
+
+  /// Fig. 11(b): hops from each mistaken node to the nearest *correctly
+  /// identified* boundary node, as a share of all mistaken nodes.
+  HopDistribution mistaken_hops() const;
+  /// Fig. 11(c): hops from each missing node to the nearest correctly
+  /// identified boundary node, as a share of all missing nodes.
+  HopDistribution missing_hops() const;
+};
+
+/// Scores `detected` against the network's ground-truth labels, including
+/// both hop distributions.
+DetectionStats evaluate_detection(const net::Network& network,
+                                  const std::vector<bool>& detected);
+
+/// Pools the counting fields and hop distributions of several runs (used by
+/// Fig. 11, which aggregates >10,000 boundary nodes across scenarios).
+DetectionStats merge_stats(const std::vector<DetectionStats>& parts);
+
+}  // namespace ballfit::core

@@ -1,0 +1,282 @@
+#include "core/ubf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+#include "geom/trisphere.hpp"
+#include "net/graph.hpp"
+
+namespace ballfit::core {
+
+using geom::Vec3;
+using net::NodeId;
+
+UnitBallFitting::UnitBallFitting(const net::Network& network, UbfConfig config)
+    : network_(&network), config_(config) {
+  BALLFIT_REQUIRE(config_.epsilon >= 0.0, "epsilon must be non-negative");
+  radius_ = config_.radius_override > 0.0
+                ? config_.radius_override
+                : (1.0 + config_.epsilon) * network.radio_range();
+  BALLFIT_REQUIRE(radius_ >= network.radio_range(),
+                  "ball radius below the radio range would mark every node "
+                  "a boundary node (Definition 4 requires r >= 1)");
+}
+
+bool UnitBallFitting::frame_reliable(double stress_rms) const {
+  if (config_.stress_gate_factor <= 0.0) return true;
+  const double noise_floor =
+      config_.measurement_error_hint / std::sqrt(3.0) +
+      config_.stress_gate_floor;
+  return stress_rms <= config_.stress_gate_factor * noise_floor *
+                           network_->radio_range();
+}
+
+UnitBallFitting::InsideLimits UnitBallFitting::inside_limits(
+    double coord_uncertainty) const {
+  // Per-node slack against coordinate jitter: σ from the caller (embedding
+  // residual) or, as a fallback, from the nominal ranging spec
+  // (Uniform(−e,e) has σ = e/√3).
+  const double sigma =
+      coord_uncertainty >= 0.0
+          ? coord_uncertainty
+          : config_.measurement_error_hint * network_->radio_range() /
+                std::sqrt(3.0);
+  const double noise_margin =
+      std::min(config_.noise_margin_cap * network_->radio_range(),
+               config_.noise_margin_factor * sigma);
+  const double one_hop =
+      std::max(0.0, radius_ - config_.inside_tolerance - noise_margin);
+  const double two_hop =
+      std::max(0.0, one_hop - config_.two_hop_inside_margin *
+                                  network_->radio_range());
+  return {one_hop * one_hop, two_hop * two_hop};
+}
+
+namespace {
+
+/// Is the ball at `center` empty of all members except the defining triple?
+bool ball_is_empty(const std::vector<Vec3>& coords, const Vec3& center,
+                   std::size_t skip_a, std::size_t skip_b, std::size_t skip_c,
+                   std::size_t witness_count, double one_hop_limit_sq,
+                   double two_hop_limit_sq,
+                   std::size_t* nodes_checked = nullptr) {
+  for (std::size_t u = 0; u < coords.size(); ++u) {
+    if (u == skip_a || u == skip_b || u == skip_c) continue;
+    if (nodes_checked != nullptr) ++(*nodes_checked);
+    const double limit_sq =
+        u < witness_count ? one_hop_limit_sq : two_hop_limit_sq;
+    if (coords[u].distance_sq_to(center) < limit_sq) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool UnitBallFitting::test_node(const std::vector<Vec3>& coords,
+                                std::size_t self_index,
+                                std::size_t witness_count,
+                                UbfNodeDiagnostics* diag,
+                                double coord_uncertainty) const {
+  BALLFIT_REQUIRE(self_index < coords.size(), "self index out of range");
+  BALLFIT_REQUIRE(witness_count <= coords.size(),
+                  "witness count exceeds member count");
+  const Vec3& self = coords[self_index];
+  const InsideLimits limits = inside_limits(coord_uncertainty);
+
+  UbfNodeDiagnostics local;
+
+  // Algorithm 1, lines 4–9: every unordered pair {j,k} of one-hop members
+  // spawns up to two candidate balls; each ball is checked for emptiness
+  // against the full member set (one- or two-hop view per config).
+  for (std::size_t j = 0; j < witness_count; ++j) {
+    if (j == self_index) continue;
+    for (std::size_t k = j + 1; k < witness_count; ++k) {
+      if (k == self_index) continue;
+      const geom::TrisphereResult balls =
+          geom::solve_trisphere(self, coords[j], coords[k], radius_);
+      for (int c = 0; c < balls.count; ++c) {
+        ++local.balls_tested;
+        if (ball_is_empty(coords, balls.centers[c], self_index, j, k,
+                          witness_count, limits.one_hop_sq, limits.two_hop_sq,
+                          &local.nodes_checked)) {
+          ++local.empty_balls;
+          if (local.empty_balls >= config_.min_empty_balls) {
+            local.found_empty_ball = true;
+            if (diag != nullptr) *diag = local;
+            return true;
+          }
+        }
+      }
+    }
+  }
+  if (diag != nullptr) *diag = local;
+  return false;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+UnitBallFitting::collect_empty_balls(const std::vector<Vec3>& coords,
+                                     std::size_t self_index,
+                                     std::size_t witness_count,
+                                     std::size_t max_balls,
+                                     double coord_uncertainty) const {
+  BALLFIT_REQUIRE(self_index < coords.size(), "self index out of range");
+  const Vec3& self = coords[self_index];
+  const InsideLimits limits = inside_limits(coord_uncertainty);
+
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t j = 0; j < witness_count && out.size() < max_balls; ++j) {
+    if (j == self_index) continue;
+    for (std::size_t k = j + 1; k < witness_count && out.size() < max_balls;
+         ++k) {
+      if (k == self_index) continue;
+      const geom::TrisphereResult balls =
+          geom::solve_trisphere(self, coords[j], coords[k], radius_);
+      for (int c = 0; c < balls.count; ++c) {
+        if (ball_is_empty(coords, balls.centers[c], self_index, j, k,
+                          witness_count, limits.one_hop_sq,
+                          limits.two_hop_sq)) {
+          out.push_back({j, k});
+          break;  // one empty side per witness pair is enough
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool UnitBallFitting::witness_confirms(const localization::LocalFrame& frame,
+                                       NodeId a, NodeId b, NodeId c) const {
+  if (!frame.ok) return true;  // witness cannot evaluate — no veto
+  // Locate the triple in the witness's frame (linear scan; frames are
+  // small and this runs only for the handful of candidate balls).
+  std::size_t ia = frame.members.size(), ib = ia, ic = ia;
+  for (std::size_t m = 0; m < frame.members.size(); ++m) {
+    if (frame.members[m] == a) ia = m;
+    else if (frame.members[m] == b) ib = m;
+    else if (frame.members[m] == c) ic = m;
+  }
+  if (ia == frame.members.size() || ib == frame.members.size() ||
+      ic == frame.members.size()) {
+    return true;  // triple not fully visible here — no veto
+  }
+
+  const geom::TrisphereResult balls = geom::solve_trisphere(
+      frame.coords[ia], frame.coords[ib], frame.coords[ic], radius_);
+  // Triple too spread/collinear in this frame: the witness cannot form the
+  // ball at all, so it cannot refute the claim either — no veto.
+  if (balls.count == 0) return true;
+  const InsideLimits limits = inside_limits(frame.stress_rms);
+  for (int s = 0; s < balls.count; ++s) {
+    // Side ambiguity between frames (reflection gauge): confirm when ANY
+    // side is empty in the witness frame.
+    if (ball_is_empty(frame.coords, balls.centers[s], ia, ib, ic,
+                      frame.one_hop_count, limits.one_hop_sq,
+                      limits.two_hop_sq)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<bool> UnitBallFitting::detect(
+    const localization::Localizer& localizer, unsigned threads) const {
+  BALLFIT_REQUIRE(&localizer.network() == network_,
+                  "localizer must wrap the same network");
+  const std::size_t n = network_->num_nodes();
+  const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
+  const unsigned workers = threads == 0 ? default_threads() : threads;
+
+  // Round 1: every node builds its local frame (the expensive stage).
+  std::vector<localization::LocalFrame> frames(n);
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        const auto id = static_cast<NodeId>(i);
+        frames[i] =
+            two_hop ? localizer.mdsmap_frame(id) : localizer.local_frame(id);
+      },
+      workers);
+
+  // Round 2: per-node test + witness cross-verification.
+  std::vector<char> flags(n, 0);
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        const localization::LocalFrame& frame = frames[i];
+        if (!frame.ok) {
+          flags[i] = config_.degenerate_is_boundary ? 1 : 0;
+          return;
+        }
+        BALLFIT_ASSERT(frame.members[0] == static_cast<NodeId>(i));
+        if (!frame_reliable(frame.stress_rms)) {
+          flags[i] = 0;
+          return;
+        }
+        if (!config_.cross_verify) {
+          flags[i] = test_node(frame.coords, 0, frame.one_hop_count, nullptr,
+                               frame.stress_rms)
+                         ? 1
+                         : 0;
+          return;
+        }
+        const std::size_t pool =
+            std::max(config_.verify_pool, config_.min_empty_balls);
+        const auto balls = collect_empty_balls(frame.coords, 0,
+                                               frame.one_hop_count, pool,
+                                               frame.stress_rms);
+        std::size_t verified = 0;
+        for (const auto& [j, k] : balls) {
+          const NodeId jn = frame.members[j];
+          const NodeId kn = frame.members[k];
+          if (witness_confirms(frames[jn], jn, static_cast<NodeId>(i), kn) &&
+              witness_confirms(frames[kn], kn, static_cast<NodeId>(i), jn)) {
+            ++verified;
+            if (verified >= config_.min_empty_balls) break;
+          }
+        }
+        flags[i] = verified >= config_.min_empty_balls ? 1 : 0;
+      },
+      workers);
+
+  std::vector<bool> boundary(n, false);
+  for (std::size_t i = 0; i < n; ++i) boundary[i] = flags[i] != 0;
+  return boundary;
+}
+
+std::vector<bool> UnitBallFitting::detect_with_true_coordinates() const {
+  const std::size_t n = network_->num_nodes();
+  const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
+  std::vector<bool> boundary(n, false);
+  std::vector<Vec3> coords;
+  for (NodeId i = 0; i < n; ++i) {
+    coords.clear();
+    coords.push_back(network_->position(i));
+    for (NodeId v : network_->neighbors(i))
+      coords.push_back(network_->position(v));
+    const std::size_t witness_count = coords.size();
+    if (witness_count < 4) {
+      boundary[i] = config_.degenerate_is_boundary;
+      continue;
+    }
+    if (two_hop) {
+      // Exact two-hop membership: neighbors of neighbors, minus the
+      // one-hop set and i itself, deduplicated.
+      const auto nb = network_->neighbors(i);
+      std::unordered_set<NodeId> seen(nb.begin(), nb.end());
+      seen.insert(i);
+      for (NodeId j : nb) {
+        for (NodeId u : network_->neighbors(j)) {
+          if (seen.insert(u).second) coords.push_back(network_->position(u));
+        }
+      }
+    }
+    boundary[i] = test_node(coords, 0, witness_count, nullptr,
+                            /*coord_uncertainty=*/0.0);
+  }
+  return boundary;
+}
+
+}  // namespace ballfit::core

@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file ubf.hpp
+/// Unit Ball Fitting (paper Sec. II-A, Algorithm 1).
+///
+/// Node i is a *potential boundary node* iff an empty unit ball (radius
+/// r = 1+ε in radio-range units, no node strictly inside) can be placed
+/// touching i. By Lemma 1 it suffices to test the balls determined by i and
+/// two of its neighbors (Eq. 1 / `solve_trisphere`), checking emptiness
+/// against the one-hop neighborhood — Θ(ρ²) balls × Θ(ρ) nodes each.
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "localization/local_frame.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::core {
+
+struct UbfConfig {
+  /// ε of Definition 4: the test radius is r = (1+ε) · radio_range.
+  /// Larger values restrict detection to larger holes (Sec. II-A3, last
+  /// paragraph); ε→0 detects holes of any size.
+  double epsilon = 1e-6;
+  /// When > 0, overrides the ball radius outright (in absolute units);
+  /// used by the hole-size-selectivity ablation.
+  double radius_override = 0.0;
+  /// A node strictly inside means distance < r − inside_tolerance; the
+  /// slack keeps the three on-surface nodes from being miscounted.
+  double inside_tolerance = 1e-9;
+  /// Extra slack (× radio range) applied to *two-hop* members only: an
+  /// imported position blocks a candidate ball only when it is inside by
+  /// more than this margin. Imported coordinates carry stitching noise;
+  /// without the margin, borderline imports leak into truly-empty outward
+  /// balls and suppress real boundary nodes. Interior candidate balls are
+  /// unaffected — their blockers sit well inside.
+  double two_hop_inside_margin = 0.1;
+  /// The emptiness test widens its slack by `noise_margin_factor ×
+  /// coordinate-uncertainty` so that coordinate jitter of the expected
+  /// magnitude cannot spuriously block a truly empty ball. The uncertainty
+  /// is self-calibrated per node from the embedding's residual stress
+  /// (LocalFrame::stress_rms); `measurement_error_hint` (fraction of the
+  /// radio range) is the fallback when a caller tests raw coordinates.
+  double measurement_error_hint = 0.0;
+  double noise_margin_factor = 3.0;
+  /// Upper bound (× radio range) on the noise-derived slack.
+  double noise_margin_cap = 0.3;
+  /// Minimum number of empty candidate balls required to declare boundary.
+  /// A real boundary node sees many empty balls (every outward-leaning
+  /// witness pair yields one); a coordinate-noise fluke sees one or two.
+  /// 1 reproduces the literal algorithm; higher values trade missing for
+  /// mistaken under noise. With cross-verification on (the default) one
+  /// verified ball suffices — the witnesses already suppress flukes.
+  std::size_t min_empty_balls = 1;
+  /// Frame-reliability gate: a node whose embedding kept a residual stress
+  /// far above the ranging-noise floor knows its local frame is folded; a
+  /// boundary claim from such a frame is most likely a false positive (and
+  /// a single deep false positive can bridge two boundary groups). Nodes
+  /// with stress_rms > gate_factor·(e/√3 + gate_floor)·R abstain. Set
+  /// gate_factor <= 0 to disable.
+  double stress_gate_factor = 2.0;
+  double stress_gate_floor = 0.01;
+  /// Cross-verification (localized, one extra query round): each empty
+  /// ball node i finds is defined by two witnesses j, k; both re-run the
+  /// emptiness check for the same ball in their own frames and veto it if
+  /// they see a member inside. A fold-over localization artifact in i's
+  /// frame must be mirrored in both witnesses' independent frames to
+  /// survive, which removes nearly all deep interior false positives —
+  /// the ones that bridge boundary groups. Costs one message round.
+  bool cross_verify = true;
+  /// How many empty balls a node collects as verification candidates.
+  std::size_t verify_pool = 6;
+  /// Nodes whose neighborhood is too small to embed (< 4 members) cannot
+  /// run the test; with this flag (default) they declare themselves
+  /// boundary — a degenerate neighborhood is itself boundary evidence.
+  bool degenerate_is_boundary = true;
+
+  /// Which nodes the emptiness check sees. A candidate ball touching node
+  /// i reaches up to 2r from i, so soundness needs the positions of nodes
+  /// within two hops (this is exactly the "within 2r" of Lemma 1):
+  ///   - kTwoHop (default): emptiness is tested against the stitched
+  ///     two-hop frame. One extra message round (each neighbor shares its
+  ///     one-hop frame); reproduces the paper's reported accuracy.
+  ///   - kOneHop: the literal Algorithm 1 listing — emptiness against the
+  ///     one-hop view only. At realistic densities (avg degree ≈ 18) this
+  ///     floods the result with interior false positives, because some
+  ///     candidate ball's one-hop-visible lens (expected occupancy ≈ 6
+  ///     nodes) is empty by chance among the Θ(ρ²) balls tested. Kept as
+  ///     an ablation (`bench_ablation_scope`).
+  enum class EmptinessScope { kOneHop, kTwoHop };
+  EmptinessScope scope = EmptinessScope::kTwoHop;
+};
+
+struct UbfNodeDiagnostics {
+  std::size_t balls_tested = 0;
+  std::size_t nodes_checked = 0;
+  std::size_t empty_balls = 0;
+  bool found_empty_ball = false;
+};
+
+class UnitBallFitting {
+ public:
+  explicit UnitBallFitting(const net::Network& network, UbfConfig config = {});
+
+  /// The effective test radius r.
+  double ball_radius() const { return radius_; }
+
+  /// True when a frame with residual `stress_rms` passes the reliability
+  /// gate for the configured error hint (see UbfConfig::stress_gate_*).
+  bool frame_reliable(double stress_rms) const;
+
+  /// Localized detection: each node embeds its neighborhood with
+  /// `localizer` (two-hop MDS-MAP patches by default, one-hop frames when
+  /// the scope is kOneHop), runs the test in its own local frame, and —
+  /// with cross_verify — has its witnesses confirm each empty ball.
+  /// `threads` parallelizes the per-node work (0 = hardware concurrency).
+  std::vector<bool> detect(const localization::Localizer& localizer,
+                           unsigned threads = 0) const;
+
+  /// Oracle detection using true coordinates (the 0%-error reference; UBF
+  /// is invariant to the rigid-motion gauge, so this equals `detect` with a
+  /// noiseless measurement model).
+  std::vector<bool> detect_with_true_coordinates() const;
+
+  /// The per-node kernel: runs the unit-ball test on an explicit point set.
+  /// `coords[self_index]` is the node under test; entries with index
+  /// < witness_count are one-hop members (candidate-ball witnesses);
+  /// entries beyond are emptiness-only members (two-hop view). All share
+  /// one (arbitrary) frame. `coord_uncertainty` is the caller's estimate
+  /// of per-coordinate error (absolute units); negative derives it from
+  /// `measurement_error_hint`.
+  bool test_node(const std::vector<geom::Vec3>& coords, std::size_t self_index,
+                 std::size_t witness_count,
+                 UbfNodeDiagnostics* diag = nullptr,
+                 double coord_uncertainty = -1.0) const;
+
+  /// Overload where every member is a witness (pure one-hop view).
+  bool test_node(const std::vector<geom::Vec3>& coords, std::size_t self_index,
+                 UbfNodeDiagnostics* diag = nullptr) const {
+    return test_node(coords, self_index, coords.size(), diag);
+  }
+
+  /// Like test_node, but collects up to `max_balls` empty balls as
+  /// (witness_j, witness_k) index pairs instead of stopping at the vote
+  /// threshold. Used by the cross-verification round.
+  std::vector<std::pair<std::size_t, std::size_t>> collect_empty_balls(
+      const std::vector<geom::Vec3>& coords, std::size_t self_index,
+      std::size_t witness_count, std::size_t max_balls,
+      double coord_uncertainty) const;
+
+  /// Witness-side check: in `frame` (the witness's own frame), is at least
+  /// one of the balls through nodes (a, b, c) empty? Returns true when the
+  /// witness cannot evaluate the triple (missing members / bad frame) —
+  /// benefit of the doubt.
+  bool witness_confirms(const localization::LocalFrame& frame, net::NodeId a,
+                        net::NodeId b, net::NodeId c) const;
+
+  const UbfConfig& config() const { return config_; }
+
+ private:
+  struct InsideLimits {
+    double one_hop_sq;
+    double two_hop_sq;
+  };
+  /// Squared "strictly inside" thresholds for one-hop and two-hop members
+  /// at a given coordinate uncertainty (see the margin discussion above).
+  InsideLimits inside_limits(double coord_uncertainty) const;
+
+  const net::Network* network_;
+  UbfConfig config_;
+  double radius_;
+};
+
+}  // namespace ballfit::core

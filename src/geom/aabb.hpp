@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file aabb.hpp
+/// Axis-aligned bounding boxes, used by the spatial grid and the SDF models.
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace ballfit::geom {
+
+struct Aabb {
+  Vec3 min{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Vec3 max{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& lo, const Vec3& hi) : min(lo), max(hi) {}
+
+  bool empty() const {
+    return min.x > max.x || min.y > max.y || min.z > max.z;
+  }
+
+  void expand(const Vec3& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    min.z = std::min(min.z, p.z);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+    max.z = std::max(max.z, p.z);
+  }
+
+  /// Grows the box by `margin` on every side.
+  Aabb inflated(double margin) const {
+    Vec3 m{margin, margin, margin};
+    return {min - m, max + m};
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  Vec3 extent() const { return max - min; }
+  Vec3 center() const { return (min + max) * 0.5; }
+
+  double volume() const {
+    if (empty()) return 0.0;
+    Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+};
+
+}  // namespace ballfit::geom

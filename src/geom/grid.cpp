@@ -1,0 +1,64 @@
+#include "geom/grid.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace ballfit::geom {
+
+SpatialGrid::SpatialGrid(const std::vector<Vec3>& points, double cell_size)
+    : points_(&points), cell_size_(cell_size) {
+  BALLFIT_REQUIRE(cell_size > 0.0, "SpatialGrid cell_size must be positive");
+  cells_.reserve(points.size());
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    cells_[hash_key(key_for(points[i]))].push_back(i);
+  }
+}
+
+std::vector<std::uint32_t> SpatialGrid::query_radius(const Vec3& q,
+                                                     double radius) const {
+  std::vector<std::uint32_t> out;
+  for_each_in_radius(q, radius, [&](std::uint32_t idx) { out.push_back(idx); });
+  return out;
+}
+
+std::int64_t SpatialGrid::nearest(const Vec3& q) const {
+  if (points_->empty()) return -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  std::int64_t best = -1;
+  // Expanding shell search: once a candidate is found in shell s, points in
+  // shells beyond (s+1) cannot beat it, because any point there is at least
+  // s * cell_size away.
+  const CellKey base = key_for(q);
+  for (std::int64_t shell = 0;; ++shell) {
+    bool any_cell = false;
+    for (std::int64_t dx = -shell; dx <= shell; ++dx)
+      for (std::int64_t dy = -shell; dy <= shell; ++dy)
+        for (std::int64_t dz = -shell; dz <= shell; ++dz) {
+          if (std::max({std::llabs(dx), std::llabs(dy), std::llabs(dz)}) !=
+              shell)
+            continue;  // only the surface of the shell
+          auto it = cells_.find(
+              hash_key({base.x + dx, base.y + dy, base.z + dz}));
+          if (it == cells_.end()) continue;
+          any_cell = true;
+          for (std::uint32_t idx : it->second) {
+            double d2 = (*points_)[idx].distance_sq_to(q);
+            if (d2 < best_d2) {
+              best_d2 = d2;
+              best = idx;
+            }
+          }
+        }
+    if (best >= 0) {
+      const double guaranteed = static_cast<double>(shell) * cell_size_;
+      if (best_d2 <= guaranteed * guaranteed) return best;
+    }
+    // Safety: if we searched far past the populated area, stop.
+    if (!any_cell && shell > 0 && best >= 0) return best;
+    if (shell > 4096) return best;  // pathological fallback
+  }
+}
+
+}  // namespace ballfit::geom

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file grid.hpp
+/// Uniform spatial hash grid over a fixed point set.
+///
+/// The network builder uses it to compute unit-disk adjacency in O(n·ρ)
+/// instead of O(n²), and samplers use it for blue-noise style minimum
+/// distance rejection. Points are immutable after construction; the grid
+/// stores indices into the caller's array.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace ballfit::geom {
+
+class SpatialGrid {
+ public:
+  /// Builds a grid over `points` with cubic cells of size `cell_size`.
+  /// `cell_size` is typically the query radius so a radius query touches at
+  /// most 27 cells.
+  SpatialGrid(const std::vector<Vec3>& points, double cell_size);
+
+  /// Indices of all points p with |p − q| <= radius.
+  std::vector<std::uint32_t> query_radius(const Vec3& q, double radius) const;
+
+  /// Visits all points within `radius` of `q` without allocating.
+  template <typename Fn>
+  void for_each_in_radius(const Vec3& q, double radius, Fn&& fn) const {
+    const double r2 = radius * radius;
+    const CellKey lo = key_for(q - Vec3{radius, radius, radius});
+    const CellKey hi = key_for(q + Vec3{radius, radius, radius});
+    for (std::int64_t cx = lo.x; cx <= hi.x; ++cx)
+      for (std::int64_t cy = lo.y; cy <= hi.y; ++cy)
+        for (std::int64_t cz = lo.z; cz <= hi.z; ++cz) {
+          auto it = cells_.find(hash_key({cx, cy, cz}));
+          if (it == cells_.end()) continue;
+          for (std::uint32_t idx : it->second) {
+            if ((*points_)[idx].distance_sq_to(q) <= r2) fn(idx);
+          }
+        }
+  }
+
+  /// Index of the nearest point to `q`, or -1 when the grid is empty.
+  /// Searches expanding shells of cells, so it is exact.
+  std::int64_t nearest(const Vec3& q) const;
+
+  std::size_t size() const { return points_->size(); }
+  double cell_size() const { return cell_size_; }
+
+ private:
+  struct CellKey {
+    std::int64_t x, y, z;
+  };
+
+  CellKey key_for(const Vec3& p) const {
+    return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+            static_cast<std::int64_t>(std::floor(p.y / cell_size_)),
+            static_cast<std::int64_t>(std::floor(p.z / cell_size_))};
+  }
+
+  static std::uint64_t hash_key(const CellKey& k) {
+    // Exact packed key: 21 bits per axis with a 2^20 offset. Cell
+    // coordinates are bounded by |c| < 2^20 for any realistic scene
+    // (checked below), so two distinct cells never share a key — a collision
+    // here would silently merge cells and produce duplicate query results.
+    constexpr std::int64_t kBias = 1 << 20;
+    BALLFIT_ASSERT_MSG(k.x > -kBias && k.x < kBias && k.y > -kBias &&
+                           k.y < kBias && k.z > -kBias && k.z < kBias,
+                       "SpatialGrid cell coordinate out of packable range");
+    const auto ux = static_cast<std::uint64_t>(k.x + kBias);
+    const auto uy = static_cast<std::uint64_t>(k.y + kBias);
+    const auto uz = static_cast<std::uint64_t>(k.z + kBias);
+    return ux | (uy << 21) | (uz << 42);
+  }
+
+  const std::vector<Vec3>* points_;
+  double cell_size_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace ballfit::geom

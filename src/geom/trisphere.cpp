@@ -1,0 +1,69 @@
+#include "geom/trisphere.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ballfit::geom {
+
+bool triangle_circumcircle(const Vec3& a, const Vec3& b, const Vec3& d,
+                           Vec3& center, double& radius, Vec3& unit_normal,
+                           double tol) {
+  // Work relative to `a` for numerical stability.
+  const Vec3 ab = b - a;
+  const Vec3 ad = d - a;
+  const Vec3 n = ab.cross(ad);
+  const double n2 = n.norm_sq();
+
+  // Degeneracy scale: compare the doubled triangle area |n| against the
+  // square of the longest edge so the test is translation/scale aware.
+  const double edge_scale =
+      std::max({ab.norm_sq(), ad.norm_sq(), (b - d).norm_sq()});
+  if (n2 <= tol * tol * edge_scale * edge_scale || edge_scale == 0.0) {
+    return false;
+  }
+
+  // Classic circumcenter formula:
+  //   cc = a + (|ad|²(n×ab) + |ab|²(ad×n)) / (2|n|²)
+  const Vec3 rel =
+      (n.cross(ab) * ad.norm_sq() + ad.cross(n) * ab.norm_sq()) / (2.0 * n2);
+  center = a + rel;
+  radius = rel.norm();
+  unit_normal = n / std::sqrt(n2);
+  return true;
+}
+
+TrisphereResult solve_trisphere(const Vec3& a, const Vec3& b, const Vec3& d,
+                                double r, double tol) {
+  TrisphereResult result;
+
+  Vec3 cc, n;
+  double R = 0.0;
+  if (!triangle_circumcircle(a, b, d, cc, R, n, tol)) {
+    result.status = TrisphereResult::Status::kCollinear;
+    return result;
+  }
+
+  // Tangent band: R within tol·r of r (on either side) collapses the two
+  // mirrored centers into one in-plane center. Beyond it on the high side
+  // there is no fitting sphere.
+  if (R >= r * (1.0 - tol)) {
+    if (R <= r * (1.0 + tol)) {
+      result.centers[0] = cc;
+      result.count = 1;
+      result.status = TrisphereResult::Status::kOneCenter;
+      return result;
+    }
+    result.status = TrisphereResult::Status::kTooSpread;
+    return result;
+  }
+
+  const double h = std::sqrt(std::max(0.0, r * r - R * R));
+
+  result.centers[0] = cc + n * h;
+  result.centers[1] = cc - n * h;
+  result.count = 2;
+  result.status = TrisphereResult::Status::kTwoCenters;
+  return result;
+}
+
+}  // namespace ballfit::geom

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file trisphere.hpp
+/// The geometric kernel of Unit Ball Fitting: given three points and a
+/// radius r, find the centers of all spheres of radius exactly r whose
+/// surface passes through all three points — Eq. (1) of the paper.
+///
+/// Geometry: the three points define a (possibly degenerate) triangle. Any
+/// sphere through all three has its center on the line through the
+/// triangle's circumcenter, perpendicular to the triangle plane. With
+/// circumradius R, a radius-r sphere exists iff R <= r, giving centers
+///   c = circumcenter ± sqrt(r² − R²) · n̂.
+/// Two solutions in general, one when R == r (center in-plane), zero when
+/// the points are too spread out (R > r) or collinear.
+
+#include <array>
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+
+namespace ballfit::geom {
+
+/// Result of the trisphere solve: up to two candidate centers.
+struct TrisphereResult {
+  std::array<Vec3, 2> centers{};
+  int count = 0;  ///< 0, 1 or 2 valid entries in `centers`.
+
+  /// Why the solve produced fewer than two centers (for diagnostics/tests).
+  enum class Status : std::uint8_t {
+    kTwoCenters,   ///< generic case, R < r
+    kOneCenter,    ///< tangent case, R == r (within tolerance)
+    kTooSpread,    ///< circumradius exceeds r — no fitting sphere
+    kCollinear,    ///< points (nearly) collinear — circumcenter undefined
+  };
+  Status status = Status::kTooSpread;
+};
+
+/// Solves Eq. (1): centers (x,y,z) with |c−a| = |c−b| = |c−d| = r.
+///
+/// `tol` controls the degeneracy thresholds: triangles whose doubled area is
+/// below `tol * (scale of the inputs)` are treated as collinear, and
+/// `R ∈ [r − tol, r]` collapses the two mirrored centers into one.
+TrisphereResult solve_trisphere(const Vec3& a, const Vec3& b, const Vec3& d,
+                                double r, double tol = 1e-12);
+
+/// Circumcenter and circumradius of triangle (a, b, d) in its own plane.
+/// Returns false for (nearly) collinear input.
+bool triangle_circumcircle(const Vec3& a, const Vec3& b, const Vec3& d,
+                           Vec3& center, double& radius, Vec3& unit_normal,
+                           double tol = 1e-12);
+
+}  // namespace ballfit::geom

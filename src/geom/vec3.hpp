@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file vec3.hpp
+/// 3D vector/point value type.
+///
+/// `Vec3` is the coordinate currency of the whole library: node positions,
+/// unit-ball centers, mesh vertices. It is a plain aggregate with value
+/// semantics and constexpr arithmetic.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace ballfit::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) {
+    x /= s; y /= s; z /= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm_sq() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm_sq()); }
+
+  /// Unit vector in this direction. Returns the zero vector when the input
+  /// norm is below `eps` (callers dealing with degenerate geometry check
+  /// `norm()` themselves first where it matters).
+  Vec3 normalized(double eps = 1e-30) const {
+    double n = norm();
+    if (n < eps) return {};
+    return *this / n;
+  }
+
+  double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+  constexpr double distance_sq_to(const Vec3& o) const {
+    return (*this - o).norm_sq();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+/// Linear interpolation: `lerp(a, b, 0) == a`, `lerp(a, b, 1) == b`.
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace ballfit::geom

@@ -1,0 +1,184 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace ballfit::linalg {
+
+EigenDecomposition eigen_symmetric(const Matrix& m, double tol, int max_sweeps,
+                                   double symmetry_tol) {
+  BALLFIT_REQUIRE(m.rows() == m.cols(),
+                  "eigen_symmetric needs a square matrix");
+  const std::size_t n = m.rows();
+
+  // Symmetrize; reject if the asymmetry is beyond tolerance.
+  Matrix a(n, n);
+  double max_entry = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      double asym = std::fabs(m(r, c) - m(c, r));
+      max_entry = std::max(max_entry, std::fabs(m(r, c)));
+      a(r, c) = 0.5 * (m(r, c) + m(c, r));
+      BALLFIT_REQUIRE(asym <= symmetry_tol * std::max(1.0, max_entry),
+                      "eigen_symmetric: input is not symmetric");
+    }
+
+  Matrix v = Matrix::identity(n);
+  EigenDecomposition out;
+
+  const double scale = std::max(1.0, a.frobenius_norm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    out.sweeps = sweep + 1;
+    if (a.max_off_diagonal() <= tol * scale) {
+      out.converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan of the rotation angle.
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Apply the rotation G(p,q,θ)ᵀ A G(p,q,θ) in place.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!out.converged && a.max_off_diagonal() <= tol * scale)
+    out.converged = true;
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+  }
+  return out;
+}
+
+EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters,
+                               double tol) {
+  BALLFIT_REQUIRE(m.rows() == m.cols(), "eigen_top_k needs a square matrix");
+  const std::size_t n = m.rows();
+  BALLFIT_REQUIRE(k >= 1 && static_cast<std::size_t>(k) <= n,
+                  "k out of range");
+
+  // For tiny matrices the dense path is both faster and more accurate.
+  if (n <= 24) {
+    EigenDecomposition full = eigen_symmetric(m);
+    EigenDecomposition out;
+    out.converged = full.converged;
+    out.sweeps = full.sweeps;
+    out.values.assign(full.values.begin(), full.values.begin() + k);
+    out.vectors = Matrix(n, static_cast<std::size_t>(k));
+    for (std::size_t r = 0; r < n; ++r)
+      for (int c = 0; c < k; ++c)
+        out.vectors(r, static_cast<std::size_t>(c)) =
+            full.vectors(r, static_cast<std::size_t>(c));
+    return out;
+  }
+
+  const double shift = m.frobenius_norm() + 1e-30;
+
+  // Subspace block X (n×k), deterministically seeded.
+  std::vector<std::vector<double>> x(static_cast<std::size_t>(k),
+                                     std::vector<double>(n));
+  std::uint64_t seed = 0x243f6a8885a308d3ULL;
+  for (int c = 0; c < k; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      x[static_cast<std::size_t>(c)][r] =
+          double(splitmix64(seed) >> 11) * 0x1.0p-53 - 0.5;
+
+  auto matvec_shifted = [&](const std::vector<double>& v,
+                            std::vector<double>& out_vec) {
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = shift * v[r];
+      for (std::size_t c = 0; c < n; ++c) s += m(r, c) * v[c];
+      out_vec[r] = s;
+    }
+  };
+  auto dot = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < n; ++r) s += a[r] * b[r];
+    return s;
+  };
+
+  EigenDecomposition out;
+  std::vector<double> tmp(n);
+  std::vector<double> prev_values(static_cast<std::size_t>(k), 0.0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // One block power step + modified Gram-Schmidt.
+    for (int c = 0; c < k; ++c) {
+      auto& col = x[static_cast<std::size_t>(c)];
+      matvec_shifted(col, tmp);
+      col = tmp;
+      for (int p = 0; p < c; ++p) {
+        const double proj = dot(col, x[static_cast<std::size_t>(p)]);
+        for (std::size_t r = 0; r < n; ++r)
+          col[r] -= proj * x[static_cast<std::size_t>(p)][r];
+      }
+      const double norm = std::sqrt(std::max(1e-300, dot(col, col)));
+      for (std::size_t r = 0; r < n; ++r) col[r] /= norm;
+    }
+    // Rayleigh quotients; stop when they stabilize.
+    bool stable = true;
+    for (int c = 0; c < k; ++c) {
+      matvec_shifted(x[static_cast<std::size_t>(c)], tmp);
+      const double lambda =
+          dot(x[static_cast<std::size_t>(c)], tmp) - shift;
+      if (std::fabs(lambda - prev_values[static_cast<std::size_t>(c)]) >
+          tol * (std::fabs(lambda) + 1.0))
+        stable = false;
+      prev_values[static_cast<std::size_t>(c)] = lambda;
+    }
+    out.sweeps = iter + 1;
+    if (stable && iter > 2) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.values = prev_values;
+  out.vectors = Matrix(n, static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      out.vectors(r, static_cast<std::size_t>(c)) =
+          x[static_cast<std::size_t>(c)][r];
+  return out;
+}
+
+}  // namespace ballfit::linalg

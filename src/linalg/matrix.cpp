@@ -1,0 +1,24 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace ballfit::linalg {
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_off_diagonal() const {
+  BALLFIT_REQUIRE(rows_ == cols_, "max_off_diagonal needs a square matrix");
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (r == c) continue;
+      best = std::max(best, std::fabs((*this)(r, c)));
+    }
+  return best;
+}
+
+}  // namespace ballfit::linalg

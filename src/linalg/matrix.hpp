@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Small dense row-major matrix of doubles.
+///
+/// This is deliberately a minimal substrate: MDS localization needs
+/// double-centering, symmetric eigen-decomposition, and a handful of
+/// products over matrices whose dimension is a node's one-hop neighborhood
+/// size (tens of rows). No BLAS, no expression templates.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ballfit::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    BALLFIT_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    BALLFIT_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  Matrix operator*(const Matrix& o) const {
+    BALLFIT_REQUIRE(cols_ == o.rows_, "matrix product dimension mismatch");
+    Matrix out(rows_, o.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = (*this)(r, k);
+        if (a == 0.0) continue;
+        for (std::size_t c = 0; c < o.cols_; ++c) out(r, c) += a * o(k, c);
+      }
+    return out;
+  }
+
+  Matrix operator+(const Matrix& o) const {
+    BALLFIT_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_,
+                    "matrix sum dimension mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += o.data_[i];
+    return out;
+  }
+
+  Matrix operator-(const Matrix& o) const {
+    BALLFIT_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_,
+                    "matrix difference dimension mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= o.data_[i];
+    return out;
+  }
+
+  Matrix operator*(double s) const {
+    Matrix out = *this;
+    for (double& v : out.data_) v *= s;
+    return out;
+  }
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Largest absolute off-diagonal entry (square matrices only).
+  double max_off_diagonal() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ballfit::linalg

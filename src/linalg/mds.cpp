@@ -1,0 +1,124 @@
+#include "linalg/mds.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+
+namespace ballfit::linalg {
+
+Matrix double_center(const Matrix& d) {
+  BALLFIT_REQUIRE(d.rows() == d.cols(), "distance matrix must be square");
+  const std::size_t n = d.rows();
+  Matrix sq(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) sq(r, c) = d(r, c) * d(r, c);
+
+  std::vector<double> row_mean(n, 0.0);
+  double grand_mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) row_mean[r] += sq(r, c);
+    row_mean[r] /= static_cast<double>(n);
+    grand_mean += row_mean[r];
+  }
+  grand_mean /= static_cast<double>(n);
+
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      b(r, c) = -0.5 * (sq(r, c) - row_mean[r] - row_mean[c] + grand_mean);
+  return b;
+}
+
+MdsResult classical_mds(const Matrix& distances, int dim) {
+  BALLFIT_REQUIRE(dim >= 1 && dim <= 3, "classical_mds supports dim 1..3");
+  const std::size_t n = distances.rows();
+  MdsResult out;
+  out.coords.resize(n);
+  if (n == 0) {
+    out.converged = true;
+    return out;
+  }
+  if (n == 1) {
+    out.converged = true;
+    out.gram_eigenvalues = {0.0};
+    return out;
+  }
+
+  const Matrix b = double_center(distances);
+  EigenDecomposition eig = eigen_symmetric(b);
+  out.gram_eigenvalues = eig.values;
+  out.converged = eig.converged;
+
+  // X = V_k Λ_k^{1/2}, clamping negative eigenvalues (noise) to zero.
+  const int k = std::min<int>(dim, static_cast<int>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double coord[3] = {0.0, 0.0, 0.0};
+    for (int c = 0; c < k; ++c) {
+      const double lambda = std::max(0.0, eig.values[c]);
+      coord[c] = eig.vectors(i, c) * std::sqrt(lambda);
+    }
+    out.coords[i] = {coord[0], coord[1], coord[2]};
+  }
+  return out;
+}
+
+namespace {
+double weighted_stress(const Matrix& d, const Matrix& w,
+                       const std::vector<geom::Vec3>& x) {
+  double s = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double wij = w(i, j);
+      if (wij <= 0.0) continue;
+      const double diff = x[i].distance_to(x[j]) - d(i, j);
+      s += wij * diff * diff;
+    }
+  return s;
+}
+}  // namespace
+
+std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
+                                      const Matrix& weights,
+                                      std::vector<geom::Vec3> init,
+                                      const SmacofConfig& config,
+                                      double* final_stress) {
+  const std::size_t n = init.size();
+  BALLFIT_REQUIRE(distances.rows() == n && distances.cols() == n,
+                  "distance matrix must match point count");
+  BALLFIT_REQUIRE(weights.rows() == n && weights.cols() == n,
+                  "weight matrix must match point count");
+
+  double stress = weighted_stress(distances, weights, init);
+  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    // Coordinate-descent Guttman transform: each point moves to the
+    // minimizer of its local stress majorizer given the others —
+    // a weighted mean of per-edge target positions. Monotone in stress.
+    for (std::size_t i = 0; i < n; ++i) {
+      geom::Vec3 acc{};
+      double wsum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double wij = weights(i, j);
+        if (wij <= 0.0) continue;
+        const geom::Vec3 delta = init[i] - init[j];
+        const double len = delta.norm();
+        // Target position for x_i on the edge (i,j): x_j + d_ij·direction.
+        const geom::Vec3 dir =
+            len > 1e-12 ? delta / len : geom::Vec3{1.0, 0.0, 0.0};
+        acc += (init[j] + dir * distances(i, j)) * wij;
+        wsum += wij;
+      }
+      if (wsum > 0.0) init[i] = acc / wsum;
+    }
+    const double next = weighted_stress(distances, weights, init);
+    const bool converged =
+        next <= stress && (stress - next) <= config.rel_tol * (stress + 1e-30);
+    stress = next;
+    if (converged) break;
+  }
+  if (final_stress != nullptr) *final_stress = stress;
+  return init;
+}
+
+}  // namespace ballfit::linalg

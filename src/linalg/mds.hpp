@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file mds.hpp
+/// Classical multidimensional scaling (Torgerson MDS).
+///
+/// This is the numeric core of local coordinate establishment (paper Sec.
+/// II-A3 step I, following Shang & Ruml's MDS-based localization): given a
+/// matrix of pairwise distance *measurements* between a node and its one-hop
+/// neighbors, recover coordinates in R³ up to a rigid motion + reflection.
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ballfit::linalg {
+
+struct MdsResult {
+  /// Recovered coordinates, one per input point, in an arbitrary frame.
+  std::vector<geom::Vec3> coords;
+  /// Eigenvalues of the centered Gram matrix (descending). The ratio of the
+  /// 4th to the 3rd is a cheap embeddability diagnostic.
+  std::vector<double> gram_eigenvalues;
+  bool converged = false;
+};
+
+/// Double-centers the squared-distance matrix: B = −½ · J D² J with
+/// J = I − 1/n · 11ᵀ. `d` holds distances (not squared).
+Matrix double_center(const Matrix& d);
+
+/// Classical MDS of a symmetric distance matrix into `dim` dimensions
+/// (only dim == 3 coordinates are populated into Vec3; dim may be 2 for
+/// planar tests, in which case z = 0).
+///
+/// Negative Gram eigenvalues (inevitable with noisy, non-Euclidean input)
+/// are clamped to zero, which is the standard classical-MDS projection.
+MdsResult classical_mds(const Matrix& distances, int dim = 3);
+
+struct SmacofConfig {
+  int max_sweeps = 60;
+  /// Stop when the relative stress improvement per sweep drops below this.
+  double rel_tol = 1e-10;
+};
+
+/// Weighted stress majorization (SMACOF, coordinate-descent form) starting
+/// from `init`. Refines an embedding against *selected* target distances:
+/// `weights(i,j) > 0` marks pairs whose distance `distances(i,j)` should be
+/// honored; zero-weight pairs are free.
+///
+/// This is the second half of Shang–Ruml-style "improved MDS": classical
+/// MDS over the shortest-path-completed matrix gives the shape, and stress
+/// majorization over the actually-measured pairs removes the bias the
+/// completion introduced (completed entries systematically overestimate,
+/// which otherwise inflates the local frame). With error-free measurements
+/// the stress minimum is 0 at the true configuration, so local frames
+/// become numerically exact.
+///
+/// Returns the refined coordinates; `final_stress`, when non-null, receives
+/// the weighted stress value at exit.
+std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
+                                      const Matrix& weights,
+                                      std::vector<geom::Vec3> init,
+                                      const SmacofConfig& config = {},
+                                      double* final_stress = nullptr);
+
+}  // namespace ballfit::linalg

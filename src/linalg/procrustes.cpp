@@ -1,0 +1,118 @@
+#include "linalg/procrustes.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ballfit::linalg {
+
+using geom::Vec3;
+
+namespace {
+
+Vec3 mat_apply(const Matrix& m, const Vec3& v) {
+  return {m(0, 0) * v.x + m(0, 1) * v.y + m(0, 2) * v.z,
+          m(1, 0) * v.x + m(1, 1) * v.y + m(1, 2) * v.z,
+          m(2, 0) * v.x + m(2, 1) * v.y + m(2, 2) * v.z};
+}
+
+double det3(const Matrix& m) {
+  return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+         m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+         m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+}
+
+Vec3 column(const Matrix& m, std::size_t c) {
+  return {m(0, c), m(1, c), m(2, c)};
+}
+
+void set_column(Matrix& m, std::size_t c, const Vec3& v) {
+  m(0, c) = v.x;
+  m(1, c) = v.y;
+  m(2, c) = v.z;
+}
+
+}  // namespace
+
+ProcrustesResult procrustes_align(const std::vector<Vec3>& source,
+                                  const std::vector<Vec3>& target) {
+  BALLFIT_REQUIRE(source.size() == target.size(),
+                  "procrustes: size mismatch");
+  BALLFIT_REQUIRE(!source.empty(), "procrustes: empty input");
+  const std::size_t n = source.size();
+
+  Vec3 sc{}, tc{};
+  for (std::size_t i = 0; i < n; ++i) {
+    sc += source[i];
+    tc += target[i];
+  }
+  sc /= static_cast<double>(n);
+  tc /= static_cast<double>(n);
+
+  // Cross-covariance M = Σ (t−t̄)(s−s̄)ᵀ; the optimal orthogonal Q with
+  // reflections allowed is U Vᵀ from the SVD M = U Σ Vᵀ.
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 s = source[i] - sc;
+    const Vec3 t = target[i] - tc;
+    const double sv[3] = {s.x, s.y, s.z};
+    const double tv[3] = {t.x, t.y, t.z};
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) m(r, c) += tv[r] * sv[c];
+  }
+
+  // SVD via eigen-decomposition of MᵀM (3×3 symmetric): V and σ².
+  const Matrix mtm = m.transposed() * m;
+  EigenDecomposition eig = eigen_symmetric(mtm);
+
+  const double scale = std::sqrt(std::max(1e-300, std::fabs(eig.values[0])));
+  Matrix u = Matrix::identity(3);
+  Matrix v(3, 3);
+  for (int c = 0; c < 3; ++c)
+    set_column(v, c, column(eig.vectors, c).normalized());
+
+  int filled = 0;
+  for (int c = 0; c < 3; ++c) {
+    const double sigma = std::sqrt(std::max(0.0, eig.values[c]));
+    if (sigma > 1e-12 * scale) {
+      set_column(u, c, (mat_apply(m, column(v, c)) / sigma).normalized());
+      ++filled;
+    }
+  }
+  // Complete U to an orthonormal basis for rank-deficient configurations
+  // (e.g. coplanar point sets have one zero singular value).
+  if (filled == 2) {
+    set_column(u, 2, column(u, 0).cross(column(u, 1)).normalized());
+  } else if (filled == 1) {
+    Vec3 u0 = column(u, 0);
+    Vec3 any = std::fabs(u0.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+    Vec3 u1 = u0.cross(any).normalized();
+    set_column(u, 1, u1);
+    set_column(u, 2, u0.cross(u1).normalized());
+  } else if (filled == 0) {
+    u = Matrix::identity(3);
+  }
+
+  const Matrix q = u * v.transposed();
+
+  ProcrustesResult out;
+  out.reflected = det3(q) < 0.0;
+  out.source_centroid = sc;
+  out.target_centroid = tc;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c)
+      out.rotation[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          q(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  out.aligned.resize(n);
+  double err2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.aligned[i] = out.apply(source[i]);
+    err2 += out.aligned[i].distance_sq_to(target[i]);
+  }
+  out.rms_error = std::sqrt(err2 / static_cast<double>(n));
+  return out;
+}
+
+}  // namespace ballfit::linalg

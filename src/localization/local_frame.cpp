@@ -1,0 +1,412 @@
+#include "localization/local_frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/mds.hpp"
+#include "linalg/procrustes.hpp"
+
+namespace ballfit::localization {
+
+using net::NodeId;
+
+Localizer::Localizer(const net::Network& network,
+                     const net::NoisyDistanceModel& model,
+                     LocalizerConfig config)
+    : network_(&network), model_(&model), config_(config) {
+  BALLFIT_REQUIRE(&model.network() == &network,
+                  "measurement model must wrap the same network");
+}
+
+LocalFrame Localizer::local_frame(NodeId i) const {
+  BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
+
+  LocalFrame frame;
+  frame.members.push_back(i);
+  for (NodeId v : network_->neighbors(i)) frame.members.push_back(v);
+  const std::size_t m = frame.members.size();
+  frame.one_hop_count = m;
+
+  if (m < 4) {
+    // Fewer than 4 points cannot span a 3D frame; the caller decides how to
+    // treat such degenerate nodes (UBF flags them as boundary).
+    frame.ok = false;
+    frame.coords.assign(m, {});
+    return frame;
+  }
+
+  // Measured distances where available; "infinite" where not. The weight
+  // matrix marks which entries are real measurements — only those are
+  // honored by the SMACOF refinement below.
+  constexpr double kMissing = std::numeric_limits<double>::infinity();
+  linalg::Matrix d(m, m, kMissing);
+  linalg::Matrix w(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    d(a, a) = 0.0;
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const NodeId u = frame.members[a];
+      const NodeId v = frame.members[b];
+      // A pair can measure each other iff within radio range (they are
+      // mutual one-hop neighbors). members[0]=i is adjacent to all others.
+      if (a == 0 || network_->are_neighbors(u, v)) {
+        const double meas = model_->measured_distance(u, v);
+        d(a, b) = d(b, a) = meas;
+        w(a, b) = w(b, a) = 1.0;
+      }
+    }
+  }
+
+  // Shortest-path completion of unmeasured pairs within the neighborhood
+  // (all pairs are joined through i at worst, so no entry stays infinite).
+  if (config_.complete_missing_pairs) {
+    for (std::size_t k = 0; k < m; ++k)
+      for (std::size_t a = 0; a < m; ++a) {
+        const double dak = d(a, k);
+        if (dak == kMissing) continue;
+        for (std::size_t b = 0; b < m; ++b) {
+          const double cand = dak + d(k, b);
+          if (cand < d(a, b)) d(a, b) = d(b, a) = cand;
+        }
+      }
+  }
+  const double fallback =
+      config_.missing_pair_fallback * network_->radio_range();
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = 0; b < m; ++b)
+      if (d(a, b) == kMissing) d(a, b) = fallback;
+
+  linalg::MdsResult mds = linalg::classical_mds(d, 3);
+  frame.coords = refine_embedding(d, w, std::move(mds.coords), i, 0,
+                                  &frame.stress_rms);
+  frame.ok = mds.converged;
+  if (mds.gram_eigenvalues.size() >= 4 && mds.gram_eigenvalues[2] > 1e-12) {
+    frame.embed_residual =
+        std::fabs(mds.gram_eigenvalues[3]) / mds.gram_eigenvalues[2];
+  }
+  return frame;
+}
+
+std::vector<geom::Vec3> Localizer::refine_embedding(
+    const linalg::Matrix& d, const linalg::Matrix& w,
+    std::vector<geom::Vec3> init, NodeId node, int sweeps_override,
+    double* stress_rms) const {
+  if (config_.smacof_sweeps <= 0) return init;
+  const std::size_t m = init.size();
+
+  // Stress majorization over measured pairs removes the completion bias of
+  // the classical-MDS init (path lengths overestimate). With exact
+  // measurements the true configuration has zero stress, so a result above
+  // the noise-consistent stress level is a fold-over local minimum and
+  // worth retrying from a perturbed init.
+  linalg::SmacofConfig sc;
+  sc.max_sweeps =
+      sweeps_override > 0 ? sweeps_override : config_.smacof_sweeps;
+
+  std::size_t measured_pairs = 0;
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = a + 1; b < m; ++b) measured_pairs += w(a, b) > 0.0;
+  const double e = model_->error_fraction() * network_->radio_range();
+  // E[(d̂−d)²] = e²/3 for Uniform(−e, e) noise; the embedding residual per
+  // pair should not exceed that noise floor by much.
+  const double accept_stress =
+      static_cast<double>(measured_pairs) * ((e * e / 3.0) * 1.5 + 1e-9);
+
+  double best_stress = std::numeric_limits<double>::infinity();
+  std::vector<geom::Vec3> best;
+  Rng restart_rng(config_.restart_seed ^
+                  (static_cast<std::uint64_t>(node) * 0x9e3779b97f4a7c15ULL));
+  for (int attempt = 0; attempt < std::max(1, config_.smacof_restarts);
+       ++attempt) {
+    std::vector<geom::Vec3> start = init;
+    if (attempt > 0) {
+      const double jitter = 0.25 * network_->radio_range();
+      for (geom::Vec3& p : start) {
+        p += geom::Vec3{restart_rng.uniform(-jitter, jitter),
+                        restart_rng.uniform(-jitter, jitter),
+                        restart_rng.uniform(-jitter, jitter)};
+      }
+    }
+    double stress = 0.0;
+    auto refined = linalg::smacof_refine(d, w, std::move(start), sc, &stress);
+    if (stress < best_stress) {
+      best_stress = stress;
+      best = std::move(refined);
+    }
+    if (best_stress <= accept_stress) break;
+  }
+  if (stress_rms != nullptr) {
+    *stress_rms = measured_pairs == 0
+                      ? 0.0
+                      : std::sqrt(best_stress /
+                                  static_cast<double>(measured_pairs));
+  }
+  return best;
+}
+
+LocalFrame Localizer::mdsmap_frame(NodeId i) const {
+  BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
+
+  LocalFrame frame;
+  frame.members.push_back(i);
+  const auto nb = network_->neighbors(i);
+  for (NodeId v : nb) frame.members.push_back(v);
+  frame.one_hop_count = frame.members.size();
+
+  if (frame.one_hop_count < 4) {
+    frame.ok = false;
+    frame.coords.assign(frame.members.size(), {});
+    return frame;
+  }
+
+  // Two-hop tail, sorted for determinism.
+  {
+    std::unordered_set<NodeId> seen(frame.members.begin(),
+                                    frame.members.end());
+    std::vector<NodeId> tail;
+    for (NodeId j : nb) {
+      for (NodeId u : network_->neighbors(j)) {
+        if (seen.insert(u).second) tail.push_back(u);
+      }
+    }
+    std::sort(tail.begin(), tail.end());
+    frame.members.insert(frame.members.end(), tail.begin(), tail.end());
+  }
+  const std::size_t m = frame.members.size();
+
+  // Measured distances for adjacent member pairs.
+  constexpr double kMissing = std::numeric_limits<double>::infinity();
+  linalg::Matrix d(m, m, kMissing);
+  linalg::Matrix w(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    d(a, a) = 0.0;
+    for (std::size_t b = a + 1; b < m; ++b) {
+      if (!network_->are_neighbors(frame.members[a], frame.members[b]))
+        continue;
+      const double meas =
+          model_->measured_distance(frame.members[a], frame.members[b]);
+      d(a, b) = d(b, a) = meas;
+      w(a, b) = w(b, a) = 1.0;
+    }
+  }
+
+  // Shortest-path completion. The patch has diameter <= 4 hops, so two
+  // rounds of sparse relaxation over the measured edges (a→k→b with (k,b)
+  // measured) reach every pair — O(m·deg²) per round instead of
+  // Floyd–Warshall's O(m³), which dominates the whole pipeline on patches
+  // of ~150 nodes.
+  if (config_.complete_missing_pairs) {
+    std::vector<std::vector<std::pair<std::size_t, double>>> adj(m);
+    for (std::size_t a = 0; a < m; ++a)
+      for (std::size_t b = 0; b < m; ++b)
+        if (w(a, b) > 0.0) adj[a].push_back({b, d(a, b)});
+    // Each round extends known distances by one measured edge; three
+    // rounds cover the 4-hop patch diameter.
+    for (int round = 0; round < 3; ++round) {
+      for (std::size_t a = 0; a < m; ++a)
+        for (std::size_t k = 0; k < m; ++k) {
+          const double dak = d(a, k);
+          if (dak == kMissing) continue;
+          for (const auto& [b, dkb] : adj[k]) {
+            const double cand = dak + dkb;
+            if (cand < d(a, b)) d(a, b) = d(b, a) = cand;
+          }
+        }
+    }
+  }
+  const double fallback =
+      config_.missing_pair_fallback * 2.0 * network_->radio_range();
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = 0; b < m; ++b)
+      if (d(a, b) == kMissing) d(a, b) = fallback;
+
+  // Classical MDS init from the top-3 eigenpairs of the centered Gram
+  // matrix, then measured-pair stress majorization.
+  const linalg::Matrix gram = linalg::double_center(d);
+  const linalg::EigenDecomposition eig =
+      linalg::eigen_top_k(gram, 3, /*max_iters=*/60, /*tol=*/1e-6);
+  std::vector<geom::Vec3> init(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    double c[3] = {0.0, 0.0, 0.0};
+    for (int k = 0; k < 3; ++k) {
+      const double lambda = std::max(0.0, eig.values[static_cast<std::size_t>(k)]);
+      c[k] = eig.vectors(r, static_cast<std::size_t>(k)) * std::sqrt(lambda);
+    }
+    init[r] = {c[0], c[1], c[2]};
+  }
+  frame.coords = refine_embedding(d, w, std::move(init), i,
+                                  config_.mdsmap_sweeps, &frame.stress_rms);
+  frame.ok = true;
+  if (eig.values.size() >= 3 && eig.values[2] > 1e-12) {
+    frame.embed_residual = 0.0;  // not meaningful for top-k decomposition
+  }
+  return frame;
+}
+
+void Localizer::refine_with_measurements(LocalFrame& frame,
+                                         int sweeps) const {
+  if (!frame.ok || sweeps <= 0) return;
+  const std::size_t m = frame.members.size();
+  linalg::Matrix d(m, m, 0.0);
+  linalg::Matrix w(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const NodeId u = frame.members[a];
+      const NodeId v = frame.members[b];
+      if (!network_->are_neighbors(u, v)) continue;
+      d(a, b) = d(b, a) = model_->measured_distance(u, v);
+      w(a, b) = w(b, a) = 1.0;
+    }
+  }
+  linalg::SmacofConfig sc;
+  sc.max_sweeps = sweeps;
+  frame.coords = linalg::smacof_refine(d, w, std::move(frame.coords), sc);
+}
+
+TwoHopFrames::TwoHopFrames(const Localizer& localizer, unsigned threads)
+    : localizer_(&localizer) {
+  const net::Network& net = localizer.network();
+  frames_.resize(net.num_nodes());
+  parallel_for(
+      net.num_nodes(),
+      [&](std::size_t i) {
+        frames_[i] = localizer.local_frame(static_cast<NodeId>(i));
+      },
+      threads == 0 ? default_threads() : threads);
+}
+
+namespace {
+
+/// One-round trimmed Procrustes: align, drop pairs whose residual exceeds
+/// 2.5× the median (fold-over outliers in either frame), realign on the
+/// inliers. Falls back to the plain alignment when trimming would leave
+/// fewer than 4 anchors.
+linalg::ProcrustesResult robust_align(const std::vector<geom::Vec3>& source,
+                                      const std::vector<geom::Vec3>& target) {
+  linalg::ProcrustesResult first = linalg::procrustes_align(source, target);
+  const std::size_t n = source.size();
+  std::vector<double> residuals(n);
+  for (std::size_t k = 0; k < n; ++k)
+    residuals[k] = first.aligned[k].distance_to(target[k]);
+  std::vector<double> sorted = residuals;
+  std::nth_element(sorted.begin(), sorted.begin() + n / 2, sorted.end());
+  const double median = sorted[n / 2];
+  const double cutoff = 2.5 * median + 1e-12;
+
+  std::vector<geom::Vec3> s2, t2;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (residuals[k] <= cutoff) {
+      s2.push_back(source[k]);
+      t2.push_back(target[k]);
+    }
+  }
+  if (s2.size() < 4 || s2.size() == n) return first;
+  return linalg::procrustes_align(s2, t2);
+}
+
+/// Robust consensus of several position estimates: medoid (minimal summed
+/// distance to the others), then the mean of the estimates within
+/// `cluster_radius` of it. Outvotes fold-over outliers.
+geom::Vec3 consensus(const std::vector<geom::Vec3>& estimates,
+                     double cluster_radius) {
+  if (estimates.size() == 1) return estimates[0];
+  std::size_t best = 0;
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < estimates.size(); ++a) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < estimates.size(); ++b)
+      sum += estimates[a].distance_to(estimates[b]);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = a;
+    }
+  }
+  geom::Vec3 acc{};
+  int count = 0;
+  for (const geom::Vec3& e : estimates) {
+    if (e.distance_to(estimates[best]) <= cluster_radius) {
+      acc += e;
+      ++count;
+    }
+  }
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+LocalFrame TwoHopFrames::frame(NodeId i, int refine_sweeps) const {
+  const net::Network& net = localizer_->network();
+  BALLFIT_REQUIRE(i < net.num_nodes(), "node id out of range");
+  LocalFrame out = frames_[i];
+  if (!out.ok) return out;
+
+  // Index of each base member in `out`.
+  std::unordered_map<NodeId, std::size_t> base_index;
+  base_index.reserve(out.members.size() * 2);
+  for (std::size_t a = 0; a < out.members.size(); ++a)
+    base_index.emplace(out.members[a], a);
+
+  // Position estimates per node, in i's frame. One-hop members start with
+  // i's own embedding as one vote; every neighbor frame that contains a
+  // node contributes another vote after alignment. Consensus over the
+  // votes corrects fold-over errors: a neighbor mis-embedded in one frame
+  // is usually well-anchored in several others.
+  std::unordered_map<NodeId, std::vector<geom::Vec3>> estimates;
+  estimates.reserve(out.members.size() * 8);
+  for (std::size_t a = 0; a < out.members.size(); ++a)
+    estimates[out.members[a]].push_back(out.coords[a]);
+
+  for (std::size_t a = 1; a < out.one_hop_count; ++a) {
+    const NodeId j = out.members[a];
+    const LocalFrame& fj = frames_[j];
+    if (!fj.ok) continue;
+
+    // Common members of the two frames (i and j are always among them).
+    std::vector<geom::Vec3> source, target;
+    for (std::size_t b = 0; b < fj.members.size(); ++b) {
+      auto it = base_index.find(fj.members[b]);
+      if (it != base_index.end()) {
+        source.push_back(fj.coords[b]);
+        target.push_back(out.coords[it->second]);
+      }
+    }
+    // A stable 3D alignment needs at least 4 non-degenerate common points.
+    if (source.size() < 4) continue;
+
+    const linalg::ProcrustesResult align = robust_align(source, target);
+    for (std::size_t b = 0; b < fj.members.size(); ++b)
+      estimates[fj.members[b]].push_back(align.apply(fj.coords[b]));
+  }
+
+  const double cluster_radius = 0.3 * net.radio_range();
+  for (std::size_t a = 0; a < out.members.size(); ++a)
+    out.coords[a] = consensus(estimates[out.members[a]], cluster_radius);
+  // Deterministic member order regardless of hash-map iteration.
+  std::vector<NodeId> imported;
+  for (const auto& [node, votes] : estimates) {
+    if (base_index.count(node) == 0) imported.push_back(node);
+  }
+  std::sort(imported.begin(), imported.end());
+  for (NodeId node : imported) {
+    out.members.push_back(node);
+    out.coords.push_back(consensus(estimates[node], cluster_radius));
+  }
+  localizer_->refine_with_measurements(out, refine_sweeps);
+  return out;
+}
+
+double Localizer::frame_rms_error(const LocalFrame& frame) const {
+  if (!frame.ok || frame.members.empty()) return 0.0;
+  std::vector<geom::Vec3> truth;
+  truth.reserve(frame.members.size());
+  for (NodeId v : frame.members) truth.push_back(network_->position(v));
+  return linalg::procrustes_align(frame.coords, truth).rms_error;
+}
+
+}  // namespace ballfit::localization

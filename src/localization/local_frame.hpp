@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file local_frame.hpp
+/// Local coordinate establishment (paper Sec. II-A3 step I).
+///
+/// Each node i collects noisy distance measurements between all pairs of
+/// nodes in N(i) = {i} ∪ neighbors(i) that are within measuring range of
+/// each other, completes the missing pairs by shortest paths inside the
+/// neighborhood, and embeds the result into R³ with classical MDS — our
+/// stand-in for the Shang–Ruml MDS localization the paper adopts [31].
+/// The output frame is arbitrary up to rigid motion + reflection, which is
+/// exactly the invariance class of the Unit Ball Fitting test.
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "linalg/matrix.hpp"
+#include "net/measurement.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::localization {
+
+struct LocalFrame {
+  /// Nodes in the frame; members[0] is always the owning node itself.
+  /// members[1 .. one_hop_count-1] are the one-hop neighbors; members from
+  /// one_hop_count on (present only in stitched two-hop frames) are two-hop
+  /// nodes, usable as emptiness witnesses but not as ball witnesses.
+  std::vector<net::NodeId> members;
+  /// Embedded coordinates, indexed like `members`.
+  std::vector<geom::Vec3> coords;
+  /// Count of members that are the node itself or one-hop neighbors.
+  std::size_t one_hop_count = 0;
+  /// False when the neighborhood was too small/degenerate to embed.
+  bool ok = false;
+  /// RMS residual per measured pair after refinement,
+  /// √(stress / #measured pairs) — a self-calibrated estimate of the local
+  /// coordinate uncertainty (≈ the ranging noise std when refinement
+  /// succeeds). UBF widens its emptiness slack proportionally.
+  double stress_rms = 0.0;
+  /// Ratio |λ₄|/λ₃ of the centered Gram matrix — a cheap measure of how
+  /// non-Euclidean the (noisy) distances were. ~0 for clean input.
+  double embed_residual = 0.0;
+};
+
+struct LocalizerConfig {
+  /// Pairs of neighbors farther apart than the radio range cannot measure
+  /// each other; their matrix entry is completed by the shortest measured
+  /// path within the neighborhood (Floyd–Warshall over ≤ deg+1 nodes).
+  bool complete_missing_pairs = true;
+  /// Fallback entry (× radio range) when even path completion fails; only
+  /// reachable in adversarial topologies.
+  double missing_pair_fallback = 2.0;
+  /// SMACOF refinement sweeps applied after classical MDS, honoring only
+  /// the actually-measured pairs (0 disables — pure classical MDS).
+  int smacof_sweeps = 60;
+  /// Sweeps for the (larger) two-hop MDS-MAP patches; coordinate-descent
+  /// stress majorization needs more rounds to propagate across a patch of
+  /// ~150 nodes than across a one-hop clique.
+  int mdsmap_sweeps = 250;
+  /// SMACOF restarts from perturbed initializations. Stress majorization
+  /// inherits fold-over local minima from the biased classical-MDS init
+  /// (path-completed entries overestimate); restarts keep the best-stress
+  /// embedding and stop early once the stress is consistent with the
+  /// ranging noise level.
+  int smacof_restarts = 2;
+  /// Seed for the (deterministic, per-node) restart perturbations.
+  std::uint64_t restart_seed = 0x5eedULL;
+};
+
+class Localizer {
+ public:
+  Localizer(const net::Network& network, const net::NoisyDistanceModel& model,
+            LocalizerConfig config = {});
+
+  /// Builds node i's local frame from one-hop measurements only.
+  LocalFrame local_frame(net::NodeId i) const;
+
+  /// Builds node i's frame over its full two-hop neighborhood, MDS-MAP(P)
+  /// style (Shang & Ruml [31], the method the paper adopts): classical MDS
+  /// on the shortest-path-completed two-hop distance matrix, then stress
+  /// majorization over the measured pairs. Every patch member carries
+  /// close to its full degree of constraints here (vs ~⅓ in a one-hop
+  /// frame), which suppresses the fold-over ambiguities that dominate
+  /// one-hop embeddings. This is the frame Unit Ball Fitting consumes.
+  LocalFrame mdsmap_frame(net::NodeId i) const;
+
+  /// Re-runs SMACOF on an (assembled) frame against every measured pair
+  /// among its members — pairs that are mutual one-hop neighbors anywhere
+  /// in the frame, not only pairs seen from the owner. Used to make
+  /// stitched two-hop frames globally consistent.
+  void refine_with_measurements(LocalFrame& frame, int sweeps = 30) const;
+
+  /// RMS coordinate error of a frame against ground truth, after optimal
+  /// rigid alignment (evaluation helper; not available to nodes).
+  double frame_rms_error(const LocalFrame& frame) const;
+
+  const net::Network& network() const { return *network_; }
+
+ private:
+  /// SMACOF with restart logic shared by both frame builders: refines
+  /// `init` against the measured pairs (w > 0), restarting from perturbed
+  /// initializations while the stress exceeds the noise-consistent level.
+  std::vector<geom::Vec3> refine_embedding(const linalg::Matrix& d,
+                                           const linalg::Matrix& w,
+                                           std::vector<geom::Vec3> init,
+                                           net::NodeId node,
+                                           int sweeps_override = 0,
+                                           double* stress_rms = nullptr) const;
+
+  const net::Network* network_;
+  const net::NoisyDistanceModel* model_;
+  LocalizerConfig config_;
+};
+
+/// Two-hop frames by patch stitching.
+///
+/// The emptiness check of Unit Ball Fitting needs the positions of every
+/// node that could lie inside a candidate ball — up to 2r away from the
+/// testing node (Lemma 1 witnesses are "within 2r"). A node obtains those
+/// localized-ly in one extra message exchange: each neighbor j shares its
+/// own one-hop frame, and node i aligns it onto its frame with orthogonal
+/// Procrustes over their common members ({i, j} ∪ (N(i) ∩ N(j)), typically
+/// a dozen nodes). Nodes imported through several neighbors are averaged.
+///
+/// All per-node frames are computed once up front (the expensive MDS part);
+/// stitching itself is a handful of 3×3 operations per edge.
+class TwoHopFrames {
+ public:
+  /// Precomputes every node's one-hop frame. `threads` = 0 → hardware.
+  explicit TwoHopFrames(const Localizer& localizer, unsigned threads = 0);
+
+  /// The stitched two-hop frame of node `i` (one_hop_count marks the
+  /// boundary between one-hop members and imported two-hop members).
+  /// `refine_sweeps` > 0 adds a whole-frame SMACOF pass over every
+  /// measured pair among the members — in the two-hop set each member has
+  /// roughly its full degree of constraints (vs ~⅓ in a one-hop frame),
+  /// which suppresses fold-over ambiguities.
+  LocalFrame frame(net::NodeId i, int refine_sweeps = 40) const;
+
+  /// The cached one-hop frame of node `i`.
+  const LocalFrame& one_hop_frame(net::NodeId i) const {
+    return frames_[i];
+  }
+
+  const net::Network& network() const { return localizer_->network(); }
+
+ private:
+  const Localizer* localizer_;
+  std::vector<LocalFrame> frames_;
+};
+
+}  // namespace ballfit::localization

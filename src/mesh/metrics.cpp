@@ -1,0 +1,54 @@
+#include "mesh/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ballfit::mesh {
+
+SurfaceQuality evaluate_surface(const BoundarySurface& surface,
+                                const model::Shape& shape) {
+  SurfaceQuality q;
+  const TriMesh& mesh = surface.mesh;
+  q.num_landmarks = mesh.num_vertices();
+  q.num_edges = mesh.num_edges();
+
+  double sum = 0.0;
+  for (std::uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+    const double d = std::fabs(shape.signed_distance(mesh.position(v)));
+    sum += d;
+    q.vertex_deviation_max = std::max(q.vertex_deviation_max, d);
+  }
+  if (mesh.num_vertices() > 0)
+    q.vertex_deviation_mean = sum / static_cast<double>(mesh.num_vertices());
+
+  const auto tris = mesh.triangles();
+  q.num_triangles = tris.size();
+  double csum = 0.0;
+  for (const Triangle& t : tris) {
+    const geom::Vec3 centroid =
+        (mesh.position(t[0]) + mesh.position(t[1]) + mesh.position(t[2])) /
+        3.0;
+    csum += std::fabs(shape.signed_distance(centroid));
+  }
+  if (!tris.empty())
+    q.centroid_deviation_mean = csum / static_cast<double>(tris.size());
+
+  q.manifold = mesh.manifold_report();
+  if (q.manifold.num_edges > 0) {
+    q.two_face_edge_share =
+        static_cast<double>(q.manifold.edges_two_faces) /
+        static_cast<double>(q.manifold.num_edges);
+  }
+  return q;
+}
+
+std::vector<SurfaceQuality> evaluate_surfaces(const SurfaceResult& result,
+                                              const model::Shape& shape) {
+  std::vector<SurfaceQuality> out;
+  out.reserve(result.surfaces.size());
+  for (const BoundarySurface& s : result.surfaces)
+    out.push_back(evaluate_surface(s, shape));
+  return out;
+}
+
+}  // namespace ballfit::mesh

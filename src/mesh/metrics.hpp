@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Geometric quality metrics for reconstructed boundary surfaces —
+/// the quantities behind the paper's "not seriously deformed under
+/// distance measurement errors" claim (Figs. 1(j)–(l)).
+
+#include <vector>
+
+#include "mesh/surface_builder.hpp"
+#include "model/shape.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::mesh {
+
+struct SurfaceQuality {
+  std::size_t num_landmarks = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_triangles = 0;
+  /// Mean / max |signed distance| of mesh vertices from the true model
+  /// surface (radio-range units).
+  double vertex_deviation_mean = 0.0;
+  double vertex_deviation_max = 0.0;
+  /// Mean |signed distance| of triangle centroids — captures how far the
+  /// faces cut through or float off the true surface.
+  double centroid_deviation_mean = 0.0;
+  /// Share of mesh edges with exactly two triangular faces.
+  double two_face_edge_share = 0.0;
+  /// Whole-surface manifold summary.
+  TriMesh::ManifoldReport manifold;
+};
+
+/// Scores one reconstructed surface against the generating model.
+SurfaceQuality evaluate_surface(const BoundarySurface& surface,
+                                const model::Shape& shape);
+
+/// Scores every surface of a result; order matches `result.surfaces`.
+std::vector<SurfaceQuality> evaluate_surfaces(const SurfaceResult& result,
+                                              const model::Shape& shape);
+
+}  // namespace ballfit::mesh

@@ -1,0 +1,52 @@
+#include "mesh/obj_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ballfit::mesh {
+
+namespace {
+void append_surface(std::ostringstream& out, const BoundarySurface& surface,
+                    std::size_t index, std::size_t vertex_offset) {
+  const TriMesh& mesh = surface.mesh;
+  out << "o boundary_" << index << "_leader_" << surface.group_leader << "\n";
+  for (std::uint32_t v = 0; v < mesh.num_vertices(); ++v) {
+    const auto& p = mesh.position(v);
+    out << "v " << p.x << " " << p.y << " " << p.z << "\n";
+  }
+  for (const Triangle& t : mesh.triangles()) {
+    out << "f " << (vertex_offset + t[0] + 1) << " "
+        << (vertex_offset + t[1] + 1) << " " << (vertex_offset + t[2] + 1)
+        << "\n";
+  }
+}
+}  // namespace
+
+std::string to_obj(const BoundarySurface& surface) {
+  std::ostringstream out;
+  out << "# ballfit boundary surface\n";
+  append_surface(out, surface, 0, 0);
+  return out.str();
+}
+
+std::string to_obj(const SurfaceResult& result) {
+  std::ostringstream out;
+  out << "# ballfit boundary surfaces (" << result.surfaces.size() << ")\n";
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < result.surfaces.size(); ++i) {
+    append_surface(out, result.surfaces[i], i, offset);
+    offset += result.surfaces[i].mesh.num_vertices();
+  }
+  return out.str();
+}
+
+void write_obj(const SurfaceResult& result, const std::string& path) {
+  std::ofstream f(path);
+  BALLFIT_REQUIRE(f.good(), "cannot open OBJ output file: " + path);
+  f << to_obj(result);
+  BALLFIT_REQUIRE(f.good(), "failed writing OBJ output file: " + path);
+}
+
+}  // namespace ballfit::mesh

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file obj_export.hpp
+/// Wavefront OBJ export of reconstructed boundary surfaces, so results can
+/// be inspected in any mesh viewer (the counterpart of the paper's
+/// rendered figures).
+
+#include <string>
+
+#include "mesh/surface_builder.hpp"
+
+namespace ballfit::mesh {
+
+/// Serializes one surface (vertices + triangular faces) as OBJ text.
+std::string to_obj(const BoundarySurface& surface);
+
+/// Serializes all surfaces into one OBJ with per-surface `o` objects.
+std::string to_obj(const SurfaceResult& result);
+
+/// Writes `to_obj(result)` to `path`; throws on I/O failure.
+void write_obj(const SurfaceResult& result, const std::string& path);
+
+}  // namespace ballfit::mesh

@@ -1,0 +1,161 @@
+#include "mesh/trimesh.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ballfit::mesh {
+
+TriMesh::TriMesh(std::vector<net::NodeId> vertex_nodes,
+                 std::vector<geom::Vec3> positions)
+    : nodes_(std::move(vertex_nodes)), positions_(std::move(positions)) {
+  BALLFIT_REQUIRE(nodes_.size() == positions_.size(),
+                  "vertex/position count mismatch");
+  adjacency_.resize(nodes_.size());
+  for (std::uint32_t k = 0; k < nodes_.size(); ++k) {
+    auto [it, inserted] = node_to_index_.emplace(nodes_[k], k);
+    BALLFIT_REQUIRE(inserted, "duplicate vertex node");
+  }
+}
+
+std::uint32_t TriMesh::index_of(net::NodeId node) const {
+  auto it = node_to_index_.find(node);
+  return it == node_to_index_.end() ? kInvalidIndex : it->second;
+}
+
+bool TriMesh::has_edge(std::uint32_t a, std::uint32_t b) const {
+  BALLFIT_REQUIRE(a < nodes_.size() && b < nodes_.size(), "vertex range");
+  const auto& nb = adjacency_[a];
+  return std::binary_search(nb.begin(), nb.end(), b);
+}
+
+void TriMesh::add_edge(std::uint32_t a, std::uint32_t b) {
+  BALLFIT_REQUIRE(a < nodes_.size() && b < nodes_.size(), "vertex range");
+  BALLFIT_REQUIRE(a != b, "self loop");
+  if (has_edge(a, b)) return;
+  adjacency_[a].insert(
+      std::lower_bound(adjacency_[a].begin(), adjacency_[a].end(), b), b);
+  adjacency_[b].insert(
+      std::lower_bound(adjacency_[b].begin(), adjacency_[b].end(), a), a);
+  ++edges_;
+}
+
+void TriMesh::remove_edge(std::uint32_t a, std::uint32_t b) {
+  if (!has_edge(a, b)) return;
+  auto erase_from = [](std::vector<std::uint32_t>& v, std::uint32_t x) {
+    v.erase(std::lower_bound(v.begin(), v.end(), x));
+  };
+  erase_from(adjacency_[a], b);
+  erase_from(adjacency_[b], a);
+  --edges_;
+}
+
+std::vector<Edge> TriMesh::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edges_);
+  for (std::uint32_t a = 0; a < adjacency_.size(); ++a)
+    for (std::uint32_t b : adjacency_[a])
+      if (a < b) out.push_back({a, b});
+  return out;
+}
+
+std::vector<Triangle> TriMesh::triangles() const {
+  std::vector<Triangle> out;
+  // Enumerate each 3-clique once: a < b < c with b,c ∈ adj(a), c ∈ adj(b).
+  for (std::uint32_t a = 0; a < adjacency_.size(); ++a) {
+    const auto& na = adjacency_[a];
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      const std::uint32_t b = na[i];
+      if (b <= a) continue;
+      for (std::size_t j = i + 1; j < na.size(); ++j) {
+        const std::uint32_t c = na[j];
+        if (c <= b) continue;
+        if (has_edge(b, c)) out.push_back({a, b, c});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> TriMesh::edge_triangle_apexes(
+    std::uint32_t a, std::uint32_t b) const {
+  std::vector<std::uint32_t> out;
+  const auto& na = adjacency_[a];
+  const auto& nb = adjacency_[b];
+  std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TriMesh::ManifoldReport TriMesh::manifold_report() const {
+  ManifoldReport rep;
+  rep.num_vertices = nodes_.size();
+  rep.num_edges = edges_;
+  const std::vector<Triangle> tris = triangles();
+  rep.num_triangles = tris.size();
+
+  // Edge-face incidence.
+  std::map<Edge, std::uint32_t> face_count;
+  for (const Triangle& t : tris) {
+    ++face_count[make_edge(t[0], t[1])];
+    ++face_count[make_edge(t[0], t[2])];
+    ++face_count[make_edge(t[1], t[2])];
+  }
+  for (const Edge& e : edges()) {
+    auto it = face_count.find(e);
+    const std::uint32_t c = it == face_count.end() ? 0 : it->second;
+    if (c == 2) ++rep.edges_two_faces;
+    else if (c < 2) ++rep.edges_under;
+    else ++rep.edges_over;
+  }
+
+  // Vertex links: for each vertex, the graph on its neighbors induced by
+  // incident triangles must be a single closed cycle (every link vertex of
+  // link-degree 2, connected).
+  for (std::uint32_t v = 0; v < adjacency_.size(); ++v) {
+    const auto& nv = adjacency_[v];
+    if (nv.empty()) continue;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> link;
+    for (std::size_t i = 0; i < nv.size(); ++i)
+      for (std::size_t j = i + 1; j < nv.size(); ++j)
+        if (has_edge(nv[i], nv[j])) {
+          link[nv[i]].push_back(nv[j]);
+          link[nv[j]].push_back(nv[i]);
+        }
+    if (link.size() != nv.size()) continue;  // some neighbor not in any face
+    bool all_degree_two = true;
+    for (const auto& [u, ns] : link)
+      if (ns.size() != 2) {
+        all_degree_two = false;
+        break;
+      }
+    if (!all_degree_two) continue;
+    // Connectivity: walk the cycle from one link vertex.
+    std::map<std::uint32_t, bool> seen;
+    std::vector<std::uint32_t> stack{link.begin()->first};
+    seen[stack.back()] = true;
+    std::size_t visited = 0;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      ++visited;
+      for (std::uint32_t w : link.at(u))
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+    }
+    if (visited == link.size()) ++rep.vertices_closed_fan;
+  }
+
+  rep.euler_characteristic = static_cast<long long>(rep.num_vertices) -
+                             static_cast<long long>(rep.num_edges) +
+                             static_cast<long long>(rep.num_triangles);
+  rep.closed_manifold = rep.num_edges > 0 &&
+                        rep.edges_two_faces == rep.num_edges &&
+                        rep.vertices_closed_fan == rep.num_vertices;
+  if (rep.closed_manifold) rep.genus = (2 - rep.euler_characteristic) / 2;
+  return rep;
+}
+
+}  // namespace ballfit::mesh

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file trimesh.hpp
+/// Combinatorial triangular mesh over landmark vertices.
+///
+/// The surface-construction algorithm (paper Sec. III) produces, per
+/// boundary, a graph on landmark nodes whose triangles are its faces.
+/// `TriMesh` stores that graph, enumerates faces as 3-cliques, and checks
+/// the 2-manifold properties the paper targets: every edge on exactly two
+/// triangles and every vertex link a single closed cycle.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::mesh {
+
+/// Undirected edge as an ordered pair (a < b) of vertex indices.
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+/// Triangle as a sorted triple of vertex indices.
+using Triangle = std::array<std::uint32_t, 3>;
+
+inline Edge make_edge(std::uint32_t a, std::uint32_t b) {
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+class TriMesh {
+ public:
+  /// An empty mesh (no vertices); useful as a placeholder.
+  TriMesh() = default;
+
+  /// `vertex_nodes[k]` is the network node acting as vertex k;
+  /// `positions[k]` its coordinates (used for export/metrics only).
+  TriMesh(std::vector<net::NodeId> vertex_nodes,
+          std::vector<geom::Vec3> positions);
+
+  std::size_t num_vertices() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_; }
+
+  net::NodeId vertex_node(std::uint32_t v) const { return nodes_[v]; }
+  const geom::Vec3& position(std::uint32_t v) const { return positions_[v]; }
+  const std::vector<net::NodeId>& vertex_nodes() const { return nodes_; }
+
+  /// Index of the vertex backed by `node`, or kInvalidIndex.
+  static constexpr std::uint32_t kInvalidIndex = static_cast<std::uint32_t>(-1);
+  std::uint32_t index_of(net::NodeId node) const;
+
+  bool has_edge(std::uint32_t a, std::uint32_t b) const;
+  void add_edge(std::uint32_t a, std::uint32_t b);
+  void remove_edge(std::uint32_t a, std::uint32_t b);
+
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t v) const {
+    return adjacency_[v];
+  }
+  std::vector<Edge> edges() const;
+
+  /// All 3-cliques — the triangular faces of the combinatorial surface.
+  std::vector<Triangle> triangles() const;
+
+  /// Triangles incident on edge (a, b): the common neighbors of a and b.
+  std::vector<std::uint32_t> edge_triangle_apexes(std::uint32_t a,
+                                                  std::uint32_t b) const;
+
+  /// --- 2-manifold diagnostics -------------------------------------------
+  struct ManifoldReport {
+    std::size_t num_vertices = 0;
+    std::size_t num_edges = 0;
+    std::size_t num_triangles = 0;
+    /// Edges bounded by exactly 2 / fewer / more triangles.
+    std::size_t edges_two_faces = 0;
+    std::size_t edges_under = 0;
+    std::size_t edges_over = 0;
+    /// Vertices whose incident triangles form one closed fan.
+    std::size_t vertices_closed_fan = 0;
+    /// Euler characteristic V − E + F.
+    long long euler_characteristic = 0;
+    /// True when every edge has exactly two faces and every vertex a single
+    /// closed fan — a closed 2-manifold.
+    bool closed_manifold = false;
+    /// Genus from χ = 2 − 2g (meaningful only when closed_manifold).
+    long long genus = 0;
+  };
+  ManifoldReport manifold_report() const;
+
+ private:
+  std::vector<net::NodeId> nodes_;
+  std::vector<geom::Vec3> positions_;
+  std::map<net::NodeId, std::uint32_t> node_to_index_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;  // sorted
+  std::size_t edges_ = 0;
+};
+
+}  // namespace ballfit::mesh

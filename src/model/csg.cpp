@@ -1,0 +1,91 @@
+#include "model/csg.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ballfit::model {
+
+using geom::Aabb;
+using geom::Vec3;
+
+UnionShape::UnionShape(std::vector<ShapePtr> parts)
+    : parts_(std::move(parts)) {
+  BALLFIT_REQUIRE(!parts_.empty(), "union of zero shapes");
+  for (const auto& p : parts_) BALLFIT_REQUIRE(p != nullptr, "null operand");
+}
+
+double UnionShape::signed_distance(const Vec3& p) const {
+  double d = parts_[0]->signed_distance(p);
+  for (std::size_t i = 1; i < parts_.size(); ++i)
+    d = std::min(d, parts_[i]->signed_distance(p));
+  return d;
+}
+
+Aabb UnionShape::bounds() const {
+  Aabb b;
+  for (const auto& s : parts_) {
+    const Aabb sb = s->bounds();
+    b.expand(sb.min);
+    b.expand(sb.max);
+  }
+  return b;
+}
+
+IntersectionShape::IntersectionShape(std::vector<ShapePtr> parts)
+    : parts_(std::move(parts)) {
+  BALLFIT_REQUIRE(!parts_.empty(), "intersection of zero shapes");
+  for (const auto& p : parts_) BALLFIT_REQUIRE(p != nullptr, "null operand");
+}
+
+double IntersectionShape::signed_distance(const Vec3& p) const {
+  double d = parts_[0]->signed_distance(p);
+  for (std::size_t i = 1; i < parts_.size(); ++i)
+    d = std::max(d, parts_[i]->signed_distance(p));
+  return d;
+}
+
+Aabb IntersectionShape::bounds() const {
+  // Intersection of operand bounds (still conservative).
+  Aabb b = parts_[0]->bounds();
+  for (std::size_t i = 1; i < parts_.size(); ++i) {
+    const Aabb o = parts_[i]->bounds();
+    b.min.x = std::max(b.min.x, o.min.x);
+    b.min.y = std::max(b.min.y, o.min.y);
+    b.min.z = std::max(b.min.z, o.min.z);
+    b.max.x = std::min(b.max.x, o.max.x);
+    b.max.y = std::min(b.max.y, o.max.y);
+    b.max.z = std::min(b.max.z, o.max.z);
+  }
+  return b;
+}
+
+DifferenceShape::DifferenceShape(ShapePtr base, std::vector<ShapePtr> holes)
+    : base_(std::move(base)), holes_(std::move(holes)) {
+  BALLFIT_REQUIRE(base_ != nullptr, "difference needs a base shape");
+  for (const auto& h : holes_) BALLFIT_REQUIRE(h != nullptr, "null hole");
+}
+
+double DifferenceShape::signed_distance(const Vec3& p) const {
+  double d = base_->signed_distance(p);
+  for (const auto& h : holes_) d = std::max(d, -h->signed_distance(p));
+  return d;
+}
+
+Aabb DifferenceShape::bounds() const { return base_->bounds(); }
+
+TranslatedShape::TranslatedShape(ShapePtr inner, Vec3 offset)
+    : inner_(std::move(inner)), offset_(offset) {
+  BALLFIT_REQUIRE(inner_ != nullptr, "translated shape needs an operand");
+}
+
+double TranslatedShape::signed_distance(const Vec3& p) const {
+  return inner_->signed_distance(p - offset_);
+}
+
+Aabb TranslatedShape::bounds() const {
+  const Aabb b = inner_->bounds();
+  return {b.min + offset_, b.max + offset_};
+}
+
+}  // namespace ballfit::model

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file csg.hpp
+/// Constructive solid geometry combinators over SDF shapes.
+///
+/// min/max composition yields sign-correct distance *bounds* (exact away
+/// from the seams), which is all the samplers need. `DifferenceShape` is how
+/// the paper's "network with internal holes" scenarios (Figs. 7–8) are
+/// modeled: a solid minus one or two spheres.
+
+#include <vector>
+
+#include "model/shape.hpp"
+
+namespace ballfit::model {
+
+/// Union of shapes: inside any operand.
+class UnionShape final : public Shape {
+ public:
+  explicit UnionShape(std::vector<ShapePtr> parts);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+ private:
+  std::vector<ShapePtr> parts_;
+};
+
+/// Intersection of shapes: inside every operand.
+class IntersectionShape final : public Shape {
+ public:
+  explicit IntersectionShape(std::vector<ShapePtr> parts);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+ private:
+  std::vector<ShapePtr> parts_;
+};
+
+/// Difference: inside `base` but outside every `holes[k]`.
+class DifferenceShape final : public Shape {
+ public:
+  DifferenceShape(ShapePtr base, std::vector<ShapePtr> holes);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+  const Shape& base() const { return *base_; }
+  const std::vector<ShapePtr>& holes() const { return holes_; }
+
+ private:
+  ShapePtr base_;
+  std::vector<ShapePtr> holes_;
+};
+
+/// Rigidly translated shape.
+class TranslatedShape final : public Shape {
+ public:
+  TranslatedShape(ShapePtr inner, geom::Vec3 offset);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+ private:
+  ShapePtr inner_;
+  geom::Vec3 offset_;
+};
+
+}  // namespace ballfit::model

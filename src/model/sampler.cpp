@@ -1,0 +1,80 @@
+#include "model/sampler.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "geom/sampling.hpp"
+
+namespace ballfit::model {
+
+using geom::Vec3;
+
+std::vector<Vec3> sample_volume(const Shape& shape, std::size_t count,
+                                Rng& rng, double margin) {
+  const geom::Aabb box = shape.bounds();
+  BALLFIT_REQUIRE(!box.empty(), "shape has empty bounds");
+
+  std::vector<Vec3> out;
+  out.reserve(count);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 1000 * (count + 1000);
+  while (out.size() < count) {
+    BALLFIT_REQUIRE(++attempts <= max_attempts,
+                    "sample_volume: acceptance rate too low — check shape "
+                    "and margin");
+    const Vec3 p = geom::sample_in_box(rng, box);
+    if (shape.signed_distance(p) <= -margin) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Vec3> sample_surface(const Shape& shape, std::size_t count,
+                                 Rng& rng, double band, double tol) {
+  const geom::Aabb box = shape.bounds().inflated(band);
+  BALLFIT_REQUIRE(!box.empty(), "shape has empty bounds");
+  BALLFIT_REQUIRE(band > 0.0, "surface sampling band must be positive");
+
+  std::vector<Vec3> out;
+  out.reserve(count);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 4000 * (count + 1000);
+  while (out.size() < count) {
+    BALLFIT_REQUIRE(++attempts <= max_attempts,
+                    "sample_surface: acceptance rate too low — check shape");
+    const Vec3 p = geom::sample_in_box(rng, box);
+    if (std::fabs(shape.signed_distance(p)) > band) continue;
+    double residual = 0.0;
+    const Vec3 q = shape.project_to_surface(p, 60, tol, &residual);
+    if (residual > tol) continue;  // Newton stuck on a CSG seam
+    if (!box.contains(q)) continue;
+    out.push_back(q);
+  }
+  return out;
+}
+
+double estimate_volume(const Shape& shape, Rng& rng, std::size_t trials) {
+  const geom::Aabb box = shape.bounds();
+  BALLFIT_REQUIRE(!box.empty() && trials > 0, "bad volume estimate inputs");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (shape.contains(geom::sample_in_box(rng, box))) ++hits;
+  }
+  return box.volume() * static_cast<double>(hits) /
+         static_cast<double>(trials);
+}
+
+double estimate_area(const Shape& shape, Rng& rng, double band,
+                     std::size_t trials) {
+  const geom::Aabb box = shape.bounds().inflated(band);
+  BALLFIT_REQUIRE(band > 0.0 && trials > 0, "bad area estimate inputs");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const Vec3 p = geom::sample_in_box(rng, box);
+    if (std::fabs(shape.signed_distance(p)) <= band) ++hits;
+  }
+  const double shell_volume =
+      box.volume() * static_cast<double>(hits) / static_cast<double>(trials);
+  return shell_volume / (2.0 * band);
+}
+
+}  // namespace ballfit::model

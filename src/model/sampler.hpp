@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file sampler.hpp
+/// Random node placement on and inside SDF solids.
+///
+/// Mirrors the paper's network construction: "A set of nodes are randomly
+/// uniformly distributed on the surface of the 3D model … A cloud of nodes
+/// are then deployed inside the 3D model."
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/shape.hpp"
+
+namespace ballfit::model {
+
+/// Uniform points strictly inside the solid, at signed distance <= −margin.
+/// Rejection sampling from the bounding box; throws InvalidArgument if the
+/// acceptance rate collapses (wrong shape/margin combination).
+std::vector<geom::Vec3> sample_volume(const Shape& shape, std::size_t count,
+                                      Rng& rng, double margin = 0.0);
+
+/// Approximately uniform points on the surface of the solid. Candidates are
+/// drawn from a thin shell |f(p)| <= band around the zero level set and
+/// Newton-projected onto it; for (approximately) distance-true fields the
+/// shell has constant thickness, making the projected density uniform in
+/// area.
+std::vector<geom::Vec3> sample_surface(const Shape& shape, std::size_t count,
+                                       Rng& rng, double band = 0.75,
+                                       double tol = 1e-7);
+
+/// Monte-Carlo estimate of the solid volume from `trials` box samples.
+double estimate_volume(const Shape& shape, Rng& rng,
+                       std::size_t trials = 200000);
+
+/// Monte-Carlo estimate of the surface area: counts shell hits of width
+/// 2·band and divides by the shell thickness (first-order accurate for
+/// smooth surfaces).
+double estimate_area(const Shape& shape, Rng& rng, double band = 0.05,
+                     std::size_t trials = 400000);
+
+}  // namespace ballfit::model

@@ -1,0 +1,36 @@
+#include "model/shape.hpp"
+
+#include <cmath>
+
+namespace ballfit::model {
+
+using geom::Vec3;
+
+Vec3 Shape::gradient(const Vec3& p, double h) const {
+  const double dx = signed_distance({p.x + h, p.y, p.z}) -
+                    signed_distance({p.x - h, p.y, p.z});
+  const double dy = signed_distance({p.x, p.y + h, p.z}) -
+                    signed_distance({p.x, p.y - h, p.z});
+  const double dz = signed_distance({p.x, p.y, p.z + h}) -
+                    signed_distance({p.x, p.y, p.z - h});
+  return Vec3{dx, dy, dz} / (2.0 * h);
+}
+
+Vec3 Shape::project_to_surface(const Vec3& p, int max_iterations, double tol,
+                               double* residual) const {
+  Vec3 q = p;
+  double d = signed_distance(q);
+  for (int it = 0; it < max_iterations && std::fabs(d) > tol; ++it) {
+    Vec3 g = gradient(q);
+    const double g2 = g.norm_sq();
+    if (g2 < 1e-20) break;  // flat spot (CSG edge); give up, caller rejects
+    // Damped Newton: full step when the field is a true distance, shorter
+    // steps merely slow convergence, never diverge on our bounded fields.
+    q -= g * (d / g2);
+    d = signed_distance(q);
+  }
+  if (residual != nullptr) *residual = std::fabs(d);
+  return q;
+}
+
+}  // namespace ballfit::model

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file shape.hpp
+/// Implicit 3D solids described by (approximate) signed distance fields.
+///
+/// This module replaces the paper's TetGen-based model pipeline: network
+/// scenarios are solids `S ⊂ R³`; the generator samples ground-truth
+/// boundary nodes on `∂S` and interior nodes in `S`. A shape only needs a
+/// sign-correct distance *bound* (negative inside, positive outside, zero on
+/// the surface, |f| a lower bound on true distance); that is sufficient for
+/// rejection sampling and Newton projection onto the surface.
+
+#include <memory>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace ballfit::model {
+
+class Shape {
+ public:
+  virtual ~Shape() = default;
+
+  /// Signed distance bound: < 0 inside the solid, > 0 outside.
+  virtual double signed_distance(const geom::Vec3& p) const = 0;
+
+  /// Conservative axis-aligned bounds of the solid.
+  virtual geom::Aabb bounds() const = 0;
+
+  bool contains(const geom::Vec3& p) const { return signed_distance(p) <= 0.0; }
+
+  /// Outward (un-normalized OK) field gradient by central differences.
+  geom::Vec3 gradient(const geom::Vec3& p, double h = 1e-5) const;
+
+  /// Projects `p` onto the zero level set by damped Newton steps along the
+  /// field gradient. Returns the projected point; `*residual` (if non-null)
+  /// receives the final |signed_distance|.
+  geom::Vec3 project_to_surface(const geom::Vec3& p, int max_iterations = 40,
+                                double tol = 1e-9,
+                                double* residual = nullptr) const;
+};
+
+using ShapePtr = std::shared_ptr<const Shape>;
+
+}  // namespace ballfit::model

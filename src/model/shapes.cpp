@@ -1,0 +1,186 @@
+#include "model/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace ballfit::model {
+
+using geom::Aabb;
+using geom::Vec3;
+
+// ---------------------------------------------------------------- Sphere
+
+SphereShape::SphereShape(Vec3 center, double radius)
+    : center_(center), radius_(radius) {
+  BALLFIT_REQUIRE(radius > 0.0, "sphere radius must be positive");
+}
+
+double SphereShape::signed_distance(const Vec3& p) const {
+  return p.distance_to(center_) - radius_;
+}
+
+Aabb SphereShape::bounds() const {
+  const Vec3 r{radius_, radius_, radius_};
+  return {center_ - r, center_ + r};
+}
+
+// ------------------------------------------------------------------- Box
+
+BoxShape::BoxShape(Aabb box) : box_(box) {
+  BALLFIT_REQUIRE(!box_.empty(), "box must be non-empty");
+}
+
+BoxShape::BoxShape(Vec3 min, Vec3 max) : BoxShape(Aabb{min, max}) {}
+
+double BoxShape::signed_distance(const Vec3& p) const {
+  const Vec3 c = box_.center();
+  const Vec3 h = box_.extent() * 0.5;
+  const Vec3 q{std::fabs(p.x - c.x) - h.x, std::fabs(p.y - c.y) - h.y,
+               std::fabs(p.z - c.z) - h.z};
+  const Vec3 outside{std::max(q.x, 0.0), std::max(q.y, 0.0),
+                     std::max(q.z, 0.0)};
+  const double inside = std::min(std::max({q.x, q.y, q.z}), 0.0);
+  return outside.norm() + inside;
+}
+
+Aabb BoxShape::bounds() const { return box_; }
+
+// -------------------------------------------------------------- Cylinder
+
+CylinderShape::CylinderShape(Vec3 base_center, double radius, double height)
+    : base_(base_center), radius_(radius), height_(height) {
+  BALLFIT_REQUIRE(radius > 0.0 && height > 0.0,
+                  "cylinder radius/height must be positive");
+}
+
+double CylinderShape::signed_distance(const Vec3& p) const {
+  const double radial =
+      std::hypot(p.x - base_.x, p.y - base_.y) - radius_;
+  const double axial =
+      std::fabs(p.z - (base_.z + height_ * 0.5)) - height_ * 0.5;
+  const double ro = std::max(radial, 0.0);
+  const double ao = std::max(axial, 0.0);
+  return std::hypot(ro, ao) + std::min(std::max(radial, axial), 0.0);
+}
+
+Aabb CylinderShape::bounds() const {
+  return {{base_.x - radius_, base_.y - radius_, base_.z},
+          {base_.x + radius_, base_.y + radius_, base_.z + height_}};
+}
+
+// ----------------------------------------------------------------- Torus
+
+TorusShape::TorusShape(Vec3 center, double major_radius, double minor_radius)
+    : center_(center), major_(major_radius), minor_(minor_radius) {
+  BALLFIT_REQUIRE(major_radius > minor_radius && minor_radius > 0.0,
+                  "torus needs 0 < minor < major radius");
+}
+
+double TorusShape::signed_distance(const Vec3& p) const {
+  const Vec3 q = p - center_;
+  const double ring = std::hypot(q.x, q.y) - major_;
+  return std::hypot(ring, q.z) - minor_;
+}
+
+Aabb TorusShape::bounds() const {
+  const double r = major_ + minor_;
+  return {{center_.x - r, center_.y - r, center_.z - minor_},
+          {center_.x + r, center_.y + r, center_.z + minor_}};
+}
+
+// ------------------------------------------------------------- BentPipe
+
+BentPipeShape::BentPipeShape(Vec3 center, double arc_radius,
+                             double tube_radius, double arc_degrees)
+    : center_(center),
+      arc_radius_(arc_radius),
+      tube_radius_(tube_radius),
+      half_arc_rad_(arc_degrees * 0.5 * std::numbers::pi / 180.0) {
+  BALLFIT_REQUIRE(arc_radius > tube_radius && tube_radius > 0.0,
+                  "pipe needs 0 < tube radius < arc radius");
+  BALLFIT_REQUIRE(arc_degrees > 0.0 && arc_degrees <= 360.0,
+                  "arc degrees must be in (0, 360]");
+}
+
+double BentPipeShape::signed_distance(const Vec3& p) const {
+  const Vec3 q = p - center_;
+  // Angle of the query around the arc axis; clamp to the swept range. The
+  // arc is centered on the +x direction and spans ±half_arc in the xy-plane.
+  const double ang =
+      std::clamp(std::atan2(q.y, q.x), -half_arc_rad_, half_arc_rad_);
+  const Vec3 spine{arc_radius_ * std::cos(ang), arc_radius_ * std::sin(ang),
+                   0.0};
+  return q.distance_to(spine) - tube_radius_;
+}
+
+Aabb BentPipeShape::bounds() const {
+  const double r = arc_radius_ + tube_radius_;
+  return {{center_.x - r, center_.y - r, center_.z - tube_radius_},
+          {center_.x + r, center_.y + r, center_.z + tube_radius_}};
+}
+
+// -------------------------------------------------------------- Terrain
+
+TerrainShape::TerrainShape(double size_x, double size_y, double floor_z,
+                           double surface_z, std::vector<Bump> bumps,
+                           double swell_amplitude, double swell_wavelength)
+    : size_x_(size_x),
+      size_y_(size_y),
+      floor_z_(floor_z),
+      surface_z_(surface_z),
+      bumps_(std::move(bumps)),
+      swell_amplitude_(swell_amplitude),
+      swell_wavelength_(swell_wavelength) {
+  BALLFIT_REQUIRE(size_x > 0 && size_y > 0, "terrain extent must be positive");
+  BALLFIT_REQUIRE(surface_z > floor_z, "water surface must be above floor");
+  // Sample the seabed on a grid to cache a conservative maximum (used only
+  // for bounds, so a coarse grid suffices).
+  max_bottom_ = floor_z_;
+  min_bottom_ = floor_z_;
+  const int kGrid = 64;
+  for (int i = 0; i <= kGrid; ++i)
+    for (int j = 0; j <= kGrid; ++j) {
+      const double x = size_x_ * i / kGrid;
+      const double y = size_y_ * j / kGrid;
+      const double h = bottom_height(x, y);
+      max_bottom_ = std::max(max_bottom_, h);
+      min_bottom_ = std::min(min_bottom_, h);
+    }
+  BALLFIT_REQUIRE(max_bottom_ < surface_z_,
+                  "seabed bumps must stay below the water surface");
+}
+
+double TerrainShape::bottom_height(double x, double y) const {
+  double h = floor_z_;
+  for (const Bump& b : bumps_) {
+    const double dx = x - b.center.x;
+    const double dy = y - b.center.y;
+    h += b.height * std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma));
+  }
+  if (swell_amplitude_ != 0.0) {
+    const double k = 2.0 * std::numbers::pi / swell_wavelength_;
+    h += swell_amplitude_ * std::sin(k * x) * std::cos(k * y);
+  }
+  return h;
+}
+
+double TerrainShape::signed_distance(const Vec3& p) const {
+  // Sign-correct bound: the max of the six half-space-ish constraints.
+  // The seabed term z − bottom(x,y) is not a true Euclidean distance on
+  // steep slopes, but its sign is exact and its magnitude is within a
+  // Lipschitz factor, which Newton projection handles.
+  const double d_bottom = bottom_height(p.x, p.y) - p.z;  // >0 below seabed
+  const double d_top = p.z - surface_z_;
+  const double d_x = std::max(-p.x, p.x - size_x_);
+  const double d_y = std::max(-p.y, p.y - size_y_);
+  return std::max({d_bottom, d_top, d_x, d_y});
+}
+
+Aabb TerrainShape::bounds() const {
+  return {{0.0, 0.0, min_bottom_ - 1.0}, {size_x_, size_y_, surface_z_}};
+}
+
+}  // namespace ballfit::model

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file shapes.hpp
+/// Primitive solids. All dimensions are in units of the radio range
+/// (Definition 1: maximum transmission range = 1).
+
+#include <vector>
+
+#include "model/shape.hpp"
+
+namespace ballfit::model {
+
+/// Ball of radius `radius` centered at `center`. Exact SDF.
+class SphereShape final : public Shape {
+ public:
+  SphereShape(geom::Vec3 center, double radius);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+  const geom::Vec3& center() const { return center_; }
+  double radius() const { return radius_; }
+
+ private:
+  geom::Vec3 center_;
+  double radius_;
+};
+
+/// Axis-aligned box. Exact SDF.
+class BoxShape final : public Shape {
+ public:
+  explicit BoxShape(geom::Aabb box);
+  BoxShape(geom::Vec3 min, geom::Vec3 max);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+ private:
+  geom::Aabb box_;
+};
+
+/// Capped cylinder along +z from `base` with given height/radius. Exact SDF.
+class CylinderShape final : public Shape {
+ public:
+  CylinderShape(geom::Vec3 base_center, double radius, double height);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+ private:
+  geom::Vec3 base_;
+  double radius_;
+  double height_;
+};
+
+/// Solid torus in the z = center.z plane. Exact SDF.
+class TorusShape final : public Shape {
+ public:
+  TorusShape(geom::Vec3 center, double major_radius, double minor_radius);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+  double major_radius() const { return major_; }
+  double minor_radius() const { return minor_; }
+
+ private:
+  geom::Vec3 center_;
+  double major_;
+  double minor_;
+};
+
+/// Bended pipe (paper Fig. 9): a circular-arc tube of `tube_radius` swept
+/// along an arc of `arc_radius` spanning `arc_degrees` in the xy-plane,
+/// centered at `center`. Exact SDF (arc distance + tube offset).
+class BentPipeShape final : public Shape {
+ public:
+  BentPipeShape(geom::Vec3 center, double arc_radius, double tube_radius,
+                double arc_degrees);
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+ private:
+  geom::Vec3 center_;
+  double arc_radius_;
+  double tube_radius_;
+  double half_arc_rad_;
+};
+
+/// Underwater volume (paper Fig. 6): the water column of a rectangular
+/// region between a bumpy seabed `z = bottom(x, y)` and a smooth surface
+/// `z = top`. The seabed is a sum of Gaussian bumps + gentle sine swell.
+/// The field is a sign-correct distance bound.
+class TerrainShape final : public Shape {
+ public:
+  struct Bump {
+    geom::Vec3 center;  ///< only x,y used
+    double height;      ///< positive: mound; negative: trench
+    double sigma;       ///< spatial spread
+  };
+
+  TerrainShape(double size_x, double size_y, double floor_z, double surface_z,
+               std::vector<Bump> bumps, double swell_amplitude = 0.0,
+               double swell_wavelength = 10.0);
+
+  double signed_distance(const geom::Vec3& p) const override;
+  geom::Aabb bounds() const override;
+
+  /// Seabed elevation at (x, y).
+  double bottom_height(double x, double y) const;
+
+ private:
+  double size_x_, size_y_, floor_z_, surface_z_;
+  std::vector<Bump> bumps_;
+  double swell_amplitude_, swell_wavelength_;
+  double max_bottom_;  ///< cached max of bottom_height over the domain
+  double min_bottom_;  ///< cached min of bottom_height over the domain
+};
+
+}  // namespace ballfit::model

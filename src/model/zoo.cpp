@@ -1,0 +1,79 @@
+#include "model/zoo.hpp"
+
+#include "model/csg.hpp"
+#include "model/shapes.hpp"
+
+namespace ballfit::model {
+
+using geom::Vec3;
+
+Scenario fig1_network(double scale) {
+  const double s = 9.0 * scale;
+  auto box = std::make_shared<BoxShape>(Vec3{0, 0, 0}, Vec3{s, s, s});
+  auto hole =
+      std::make_shared<SphereShape>(Vec3{s * 0.5, s * 0.5, s * 0.5}, 2.2 * scale);
+  auto shape = std::make_shared<DifferenceShape>(
+      box, std::vector<ShapePtr>{hole});
+  return {"fig1-box-with-hole", shape, 1};
+}
+
+Scenario underwater(double scale) {
+  std::vector<TerrainShape::Bump> bumps = {
+      {{4.0 * scale, 4.5 * scale, 0.0}, 2.6 * scale, 2.0 * scale},
+      {{10.0 * scale, 9.0 * scale, 0.0}, 3.4 * scale, 2.4 * scale},
+      {{13.5 * scale, 3.5 * scale, 0.0}, 1.8 * scale, 1.5 * scale},
+      {{7.0 * scale, 12.0 * scale, 0.0}, -1.2 * scale, 2.0 * scale},
+  };
+  auto shape = std::make_shared<TerrainShape>(
+      16.0 * scale, 14.0 * scale, /*floor_z=*/0.0,
+      /*surface_z=*/6.5 * scale, std::move(bumps),
+      /*swell_amplitude=*/0.5 * scale, /*swell_wavelength=*/7.0 * scale);
+  return {"fig6-underwater", shape, 0};
+}
+
+Scenario space_one_hole(double scale) {
+  // Hole clearance to every outer face is >= 2.0·scale: the thin shell of
+  // near-surface nodes that UBF legitimately flags must not bridge the
+  // hole boundary to the outer boundary (that would merge the two groups).
+  const double s = 9.0 * scale;
+  auto box = std::make_shared<BoxShape>(Vec3{0, 0, 0}, Vec3{s, s, 8.0 * scale});
+  auto hole = std::make_shared<SphereShape>(
+      Vec3{s * 0.5, s * 0.5, 4.0 * scale}, 1.6 * scale);
+  auto shape =
+      std::make_shared<DifferenceShape>(box, std::vector<ShapePtr>{hole});
+  return {"fig7-one-hole", shape, 1};
+}
+
+Scenario space_two_holes(double scale) {
+  // Same clearance rule as fig7: >= 1.8·scale between the holes and
+  // >= 1.9·scale from each hole to the outer faces.
+  const double s = 11.0 * scale;
+  auto box = std::make_shared<BoxShape>(Vec3{0, 0, 0}, Vec3{s, s, 8.0 * scale});
+  auto hole1 = std::make_shared<SphereShape>(
+      Vec3{3.8 * scale, 4.0 * scale, 4.0 * scale}, 1.6 * scale);
+  auto hole2 = std::make_shared<SphereShape>(
+      Vec3{7.4 * scale, 7.2 * scale, 4.0 * scale}, 1.6 * scale);
+  auto shape = std::make_shared<DifferenceShape>(
+      box, std::vector<ShapePtr>{hole1, hole2});
+  return {"fig8-two-holes", shape, 2};
+}
+
+Scenario bent_pipe(double scale) {
+  auto shape = std::make_shared<BentPipeShape>(
+      Vec3{0, 0, 0}, /*arc_radius=*/7.0 * scale, /*tube_radius=*/2.2 * scale,
+      /*arc_degrees=*/200.0);
+  return {"fig9-bent-pipe", shape, 0};
+}
+
+Scenario sphere_world(double scale) {
+  auto shape =
+      std::make_shared<SphereShape>(Vec3{0, 0, 0}, 5.2 * scale);
+  return {"fig10-sphere", shape, 0};
+}
+
+std::vector<Scenario> evaluation_scenarios(double scale) {
+  return {underwater(scale), space_one_hole(scale), space_two_holes(scale),
+          bent_pipe(scale), sphere_world(scale)};
+}
+
+}  // namespace ballfit::model

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file zoo.hpp
+/// The paper's evaluation scenarios as ready-made shapes (Figs. 1, 6–10).
+/// All dimensions are in radio-range units and sized so that the default
+/// node densities give networks of a few thousand nodes with average degree
+/// around the paper's 18.5.
+
+#include <string>
+#include <vector>
+
+#include "model/shape.hpp"
+
+namespace ballfit::model {
+
+struct Scenario {
+  std::string name;
+  ShapePtr shape;
+  /// Number of interior boundaries ("holes") the shape contains; the outer
+  /// boundary is not counted. Used as ground truth for grouping tests.
+  int num_inner_holes = 0;
+};
+
+/// Fig. 1: general 3D network — a rounded box with one interior spherical
+/// hole (the configuration the walkthrough figure panels are computed on).
+Scenario fig1_network(double scale = 1.0);
+
+/// Fig. 6: underwater column between a smooth surface and a bumpy seabed.
+Scenario underwater(double scale = 1.0);
+
+/// Fig. 7: 3D space network with one internal hole.
+Scenario space_one_hole(double scale = 1.0);
+
+/// Fig. 8: 3D space network with two internal holes.
+Scenario space_two_holes(double scale = 1.0);
+
+/// Fig. 9: bended pipe.
+Scenario bent_pipe(double scale = 1.0);
+
+/// Fig. 10: sphere.
+Scenario sphere_world(double scale = 1.0);
+
+/// All five evaluation scenarios of Sec. IV (Figs. 6–10).
+std::vector<Scenario> evaluation_scenarios(double scale = 1.0);
+
+}  // namespace ballfit::model

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file builder.hpp
+/// Network synthesis from a 3D model, following the paper's setup
+/// (Sec. IV-A): surface nodes (ground-truth boundary) + interior cloud,
+/// unit-disk connectivity, well-connectedness check.
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "model/shape.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::net {
+
+struct BuildOptions {
+  /// Nodes sampled uniformly on the model surface (ground truth boundary).
+  std::size_t surface_count = 1200;
+  /// Nodes sampled uniformly inside the model.
+  std::size_t interior_count = 2400;
+  /// Radio transmission range (Definition 1 normalizes this to 1).
+  double radio_range = 1.0;
+  /// Keep interior nodes at signed distance <= −margin from the surface
+  /// (0 = anywhere inside, as in the paper).
+  double interior_margin = 0.0;
+  /// When true (default), nodes outside the largest connected component are
+  /// discarded, enforcing Definition 3's "no isolated nodes". The paper's
+  /// densities make this a no-op in practice.
+  bool keep_largest_component = true;
+};
+
+struct BuildDiagnostics {
+  std::size_t requested_nodes = 0;
+  std::size_t kept_nodes = 0;
+  std::size_t dropped_disconnected = 0;
+  double average_degree = 0.0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+};
+
+/// Samples nodes on/in `shape` and builds the unit-disk network.
+/// `diagnostics`, when non-null, receives connectivity statistics.
+Network build_network(const model::Shape& shape, const BuildOptions& options,
+                      Rng& rng, BuildDiagnostics* diagnostics = nullptr);
+
+/// Computes surface/interior counts that hit `target_average_degree` with
+/// the given surface/volume node share, using Monte-Carlo area and volume
+/// estimates. Useful for scenario calibration; benches print the result.
+BuildOptions options_for_target_degree(const model::Shape& shape,
+                                       double target_average_degree,
+                                       double surface_share, Rng& rng,
+                                       double radio_range = 1.0);
+
+}  // namespace ballfit::net

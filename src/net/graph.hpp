@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file graph.hpp
+/// Hop-distance and component utilities over the network graph, with
+/// optional restriction to a node subset (IFF and the mesh stage both work
+/// on the boundary-node subgraph).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace ballfit::net {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// A node filter: nullptr means "all nodes"; otherwise nodes with
+/// (*mask)[v] == false are invisible (cannot be traversed or reached).
+using NodeMask = std::vector<bool>;
+
+/// BFS hop distances from `source` (restricted to `mask` if given).
+std::vector<std::uint32_t> hop_distances(const Network& net, NodeId source,
+                                         const NodeMask* mask = nullptr,
+                                         std::uint32_t max_hops = kUnreachable);
+
+/// Multi-source BFS: distance to the closest source, and which source won
+/// (ties broken by smaller source id, matching the paper's landmark
+/// association tiebreaker). `owner[v] == kInvalidNode` when unreachable.
+struct MultiSourceBfs {
+  std::vector<std::uint32_t> distance;
+  std::vector<NodeId> owner;
+};
+MultiSourceBfs multi_source_bfs(const Network& net,
+                                const std::vector<NodeId>& sources,
+                                const NodeMask* mask = nullptr);
+
+/// Connected components of the (masked) graph. Returns component id per
+/// node (kUnreachable for masked-out nodes) and the component sizes.
+struct Components {
+  std::vector<std::uint32_t> component;
+  std::vector<std::size_t> sizes;
+  std::size_t count() const { return sizes.size(); }
+};
+Components connected_components(const Network& net,
+                                const NodeMask* mask = nullptr);
+
+/// True when the whole network is a single connected component.
+bool is_connected(const Network& net);
+
+/// Shortest path (in hops) from `from` to `to` over the masked graph,
+/// inclusive of both endpoints; empty when unreachable. Tie-breaking is
+/// deterministic: the BFS parent with the smallest id wins.
+std::vector<NodeId> shortest_path(const Network& net, NodeId from, NodeId to,
+                                  const NodeMask* mask = nullptr);
+
+}  // namespace ballfit::net

@@ -1,0 +1,38 @@
+#include "net/measurement.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ballfit::net {
+
+NoisyDistanceModel::NoisyDistanceModel(const Network& network,
+                                       double error_fraction,
+                                       std::uint64_t seed)
+    : network_(&network), error_fraction_(error_fraction), seed_(seed) {
+  BALLFIT_REQUIRE(error_fraction >= 0.0,
+                  "error fraction must be non-negative");
+}
+
+double NoisyDistanceModel::measured_distance(NodeId i, NodeId j) const {
+  BALLFIT_REQUIRE(i != j, "distance to self is not a measurement");
+  const double truth = network_->true_distance(i, j);
+  if (error_fraction_ == 0.0) return truth;
+
+  const NodeId lo = std::min(i, j);
+  const NodeId hi = std::max(i, j);
+  // Counter-mode hash: three splitmix64 rounds over (seed, lo, hi) give an
+  // i.i.d.-quality uniform draw per unordered pair.
+  std::uint64_t s = seed_;
+  (void)splitmix64(s);
+  s ^= (static_cast<std::uint64_t>(lo) << 32) | hi;
+  (void)splitmix64(s);
+  const std::uint64_t bits = splitmix64(s);
+  const double u = 2.0 * (double(bits >> 11) * 0x1.0p-53) - 1.0;  // [−1, 1)
+
+  const double noise = u * error_fraction_ * network_->radio_range();
+  return std::max(0.0, truth + noise);
+}
+
+}  // namespace ballfit::net

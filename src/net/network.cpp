@@ -1,0 +1,72 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "geom/grid.hpp"
+
+namespace ballfit::net {
+
+Network::Network(std::vector<geom::Vec3> positions,
+                 std::vector<bool> ground_truth_boundary, double radio_range)
+    : positions_(std::move(positions)),
+      truth_boundary_(std::move(ground_truth_boundary)),
+      radio_range_(radio_range) {
+  BALLFIT_REQUIRE(radio_range_ > 0.0, "radio range must be positive");
+  BALLFIT_REQUIRE(truth_boundary_.size() == positions_.size(),
+                  "ground truth label count must match node count");
+  num_truth_ = static_cast<std::size_t>(
+      std::count(truth_boundary_.begin(), truth_boundary_.end(), true));
+
+  const std::size_t n = positions_.size();
+  offsets_.assign(n + 1, 0);
+  if (n == 0) return;
+
+  geom::SpatialGrid grid(positions_, radio_range_);
+
+  // Two passes over the grid: count then fill, so adjacency is one tight
+  // allocation (networks run to tens of thousands of nodes in sweeps).
+  std::vector<std::vector<NodeId>> nbrs(n);
+  for (NodeId i = 0; i < n; ++i) {
+    grid.for_each_in_radius(positions_[i], radio_range_, [&](std::uint32_t j) {
+      if (j != i) nbrs[i].push_back(j);
+    });
+    std::sort(nbrs[i].begin(), nbrs[i].end());
+  }
+  std::size_t total = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    offsets_[i] = total;
+    total += nbrs[i].size();
+  }
+  offsets_[n] = total;
+  adjacency_.resize(total);
+  for (NodeId i = 0; i < n; ++i) {
+    std::copy(nbrs[i].begin(), nbrs[i].end(),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]));
+  }
+}
+
+bool Network::are_neighbors(NodeId i, NodeId j) const {
+  const auto nb = neighbors(i);
+  return std::binary_search(nb.begin(), nb.end(), j);
+}
+
+double Network::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) /
+         static_cast<double>(num_nodes());
+}
+
+std::size_t Network::min_degree() const {
+  std::size_t best = num_nodes() == 0 ? 0 : degree(0);
+  for (NodeId i = 0; i < num_nodes(); ++i) best = std::min(best, degree(i));
+  return best;
+}
+
+std::size_t Network::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId i = 0; i < num_nodes(); ++i) best = std::max(best, degree(i));
+  return best;
+}
+
+}  // namespace ballfit::net

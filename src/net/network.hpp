@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file network.hpp
+/// The 3D wireless network: node positions, unit-disk adjacency, and
+/// ground-truth boundary labels.
+///
+/// Per Definition 1 the maximum radio transmission range is normalized to 1;
+/// builders may use another range, in which case all geometry scales with
+/// it. `Network` is immutable after construction — algorithms observe it,
+/// they never mutate it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace ballfit::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Network {
+ public:
+  /// Builds adjacency from positions: i ~ j iff |p_i − p_j| <= radio_range.
+  /// `ground_truth_boundary[i]` marks nodes sampled on the model surface.
+  Network(std::vector<geom::Vec3> positions,
+          std::vector<bool> ground_truth_boundary, double radio_range);
+
+  std::size_t num_nodes() const { return positions_.size(); }
+  double radio_range() const { return radio_range_; }
+
+  const geom::Vec3& position(NodeId i) const { return positions_[i]; }
+  const std::vector<geom::Vec3>& positions() const { return positions_; }
+
+  /// One-hop neighbors of `i` (excluding `i` itself), sorted ascending.
+  std::span<const NodeId> neighbors(NodeId i) const {
+    return {adjacency_.data() + offsets_[i],
+            offsets_[i + 1] - offsets_[i]};
+  }
+
+  std::size_t degree(NodeId i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  bool are_neighbors(NodeId i, NodeId j) const;
+
+  /// True Euclidean distance between two nodes (any pair, oracle view).
+  double true_distance(NodeId i, NodeId j) const {
+    return positions_[i].distance_to(positions_[j]);
+  }
+
+  bool is_ground_truth_boundary(NodeId i) const { return truth_boundary_[i]; }
+  const std::vector<bool>& ground_truth_boundary() const {
+    return truth_boundary_;
+  }
+  std::size_t num_ground_truth_boundary() const { return num_truth_; }
+
+  double average_degree() const;
+  std::size_t min_degree() const;
+  std::size_t max_degree() const;
+
+ private:
+  std::vector<geom::Vec3> positions_;
+  std::vector<bool> truth_boundary_;
+  std::size_t num_truth_ = 0;
+  double radio_range_;
+  // CSR adjacency.
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace ballfit::net

@@ -1,0 +1,216 @@
+#include "sim/protocols.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace ballfit::sim {
+
+using net::NodeId;
+
+namespace {
+struct FloodMsg {
+  NodeId origin;
+  std::uint32_t ttl;
+};
+}  // namespace
+
+std::vector<std::uint32_t> ttl_flood_count(const net::Network& net,
+                                           const net::NodeMask& active,
+                                           std::uint32_t ttl,
+                                           RunStats* stats) {
+  const std::size_t n = net.num_nodes();
+  BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
+
+  std::vector<std::unordered_set<NodeId>> heard(n);
+  RoundEngine<FloodMsg> engine(net, &active);
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    heard[v].insert(v);
+    if (ttl > 0) engine.broadcast(v, {v, ttl - 1});
+  }
+
+  const RunStats rs = engine.run(
+      [&](NodeId self, NodeId /*from*/, const FloodMsg& msg) {
+        if (heard[self].insert(msg.origin).second && msg.ttl > 0) {
+          engine.broadcast(self, {msg.origin, msg.ttl - 1});
+        }
+      },
+      /*max_rounds=*/ttl + 1);
+  if (stats != nullptr) *stats = rs;
+
+  std::vector<std::uint32_t> counts(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (active[v]) counts[v] = static_cast<std::uint32_t>(heard[v].size());
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> ttl_flood_count_oracle(const net::Network& net,
+                                                  const net::NodeMask& active,
+                                                  std::uint32_t ttl) {
+  const std::size_t n = net.num_nodes();
+  BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
+  std::vector<std::uint32_t> counts(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    const auto dist = net::hop_distances(net, v, &active, ttl);
+    std::uint32_t c = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (dist[u] != net::kUnreachable && dist[u] <= ttl) ++c;
+    }
+    counts[v] = c;
+  }
+  return counts;
+}
+
+std::vector<NodeId> leader_flood(const net::Network& net,
+                                 const net::NodeMask& active,
+                                 RunStats* stats) {
+  const std::size_t n = net.num_nodes();
+  BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
+
+  std::vector<NodeId> leader(n, net::kInvalidNode);
+  RoundEngine<NodeId> engine(net, &active);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    leader[v] = v;
+    engine.broadcast(v, v);
+  }
+  const RunStats rs = engine.run(
+      [&](NodeId self, NodeId /*from*/, NodeId candidate) {
+        if (candidate < leader[self]) {
+          leader[self] = candidate;
+          engine.broadcast(self, candidate);
+        }
+      },
+      /*max_rounds=*/n + 1);
+  if (stats != nullptr) *stats = rs;
+  return leader;
+}
+
+std::vector<NodeId> leader_flood_oracle(const net::Network& net,
+                                        const net::NodeMask& active) {
+  const std::size_t n = net.num_nodes();
+  BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
+  const net::Components comps = net::connected_components(net, &active);
+  std::vector<NodeId> min_id(comps.count(), net::kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    auto& slot = min_id[comps.component[v]];
+    slot = std::min(slot, v);
+  }
+  std::vector<NodeId> leader(n, net::kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (active[v]) leader[v] = min_id[comps.component[v]];
+  }
+  return leader;
+}
+
+namespace {
+enum class BidKind : std::uint8_t { kBid, kCover };
+struct BidMsg {
+  BidKind kind;
+  NodeId id;
+  std::uint32_t ttl;
+};
+enum class Status : std::uint8_t { kUndecided, kLandmark, kCovered };
+}  // namespace
+
+std::vector<NodeId> khop_landmark_election(const net::Network& net,
+                                           const net::NodeMask& active,
+                                           std::uint32_t k, RunStats* stats) {
+  const std::size_t n = net.num_nodes();
+  BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
+  BALLFIT_REQUIRE(k >= 1, "landmark spacing k must be >= 1");
+
+  std::vector<Status> status(n, Status::kUndecided);
+  std::size_t undecided = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (active[v]) ++undecided;
+    else status[v] = Status::kCovered;  // inactive: never participates
+  }
+
+  RunStats total;
+  std::vector<NodeId> landmarks;
+
+  // Each iteration elects the locally-minimal undecided ids in parallel and
+  // suppresses their k-hop neighborhoods. At least one node (the globally
+  // smallest undecided id) wins per iteration, so this terminates.
+  while (undecided > 0) {
+    // --- Bid phase: undecided nodes flood their id within k hops.
+    std::vector<NodeId> min_bid(n, net::kInvalidNode);
+    std::vector<std::unordered_map<NodeId, std::uint32_t>> heard(n);
+    RoundEngine<BidMsg> engine(net, &active);
+    for (NodeId v = 0; v < n; ++v) {
+      if (status[v] != Status::kUndecided) continue;
+      min_bid[v] = v;
+      heard[v][v] = k;
+      engine.broadcast(v, {BidKind::kBid, v, k - 1});
+    }
+    RunStats rs = engine.run(
+        [&](NodeId self, NodeId /*from*/, const BidMsg& msg) {
+          BALLFIT_ASSERT(msg.kind == BidKind::kBid);
+          auto [it, inserted] = heard[self].try_emplace(msg.id, msg.ttl);
+          if (!inserted) {
+            if (it->second >= msg.ttl) return;  // already forwarded farther
+            it->second = msg.ttl;
+          }
+          min_bid[self] = std::min(min_bid[self], msg.id);
+          if (msg.ttl > 0)
+            engine.broadcast(self, {BidKind::kBid, msg.id, msg.ttl - 1});
+        },
+        /*max_rounds=*/k + 1);
+    total.rounds += rs.rounds;
+    total.messages += rs.messages;
+
+    // --- Decide phase: local minima become landmarks.
+    std::vector<NodeId> winners;
+    for (NodeId v = 0; v < n; ++v) {
+      if (status[v] == Status::kUndecided && min_bid[v] == v) {
+        status[v] = Status::kLandmark;
+        winners.push_back(v);
+        --undecided;
+      }
+    }
+    BALLFIT_ASSERT_MSG(!winners.empty(),
+                       "landmark election made no progress");
+
+    // --- Cover phase: winners suppress their k-hop neighborhoods.
+    std::vector<std::unordered_map<NodeId, std::uint32_t>> cover_heard(n);
+    RoundEngine<BidMsg> cover(net, &active);
+    for (NodeId w : winners) {
+      cover.broadcast(w, {BidKind::kCover, w, k - 1});
+    }
+    rs = cover.run(
+        [&](NodeId self, NodeId /*from*/, const BidMsg& msg) {
+          BALLFIT_ASSERT(msg.kind == BidKind::kCover);
+          auto [it, inserted] =
+              cover_heard[self].try_emplace(msg.id, msg.ttl);
+          if (!inserted) {
+            if (it->second >= msg.ttl) return;
+            it->second = msg.ttl;
+          }
+          if (status[self] == Status::kUndecided) {
+            status[self] = Status::kCovered;
+            --undecided;
+          }
+          if (msg.ttl > 0)
+            cover.broadcast(self, {BidKind::kCover, msg.id, msg.ttl - 1});
+        },
+        /*max_rounds=*/k + 1);
+    total.rounds += rs.rounds;
+    total.messages += rs.messages;
+
+    landmarks.insert(landmarks.end(), winners.begin(), winners.end());
+  }
+
+  if (stats != nullptr) *stats = total;
+  std::sort(landmarks.begin(), landmarks.end());
+  return landmarks;
+}
+
+}  // namespace ballfit::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file protocols.hpp
+/// Reusable localized protocols built on RoundEngine.
+///
+/// These are the communication workhorses of IFF (fragment-size counting),
+/// boundary grouping (min-id leader flood), and landmark election (k-hop
+/// suppression). Each has an oracle counterpart in terms of BFS; tests
+/// assert equivalence.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace ballfit::sim {
+
+/// TTL-limited origin-counting flood over the subgraph induced by `active`
+/// (paper Sec. II-B): every active node originates a packet with TTL `ttl`;
+/// packets are forwarded by active nodes only. Returns, for each active
+/// node, the number of *distinct originators heard, including itself* —
+/// i.e. the size of its TTL-neighborhood within its fragment. Inactive
+/// nodes get 0.
+std::vector<std::uint32_t> ttl_flood_count(const net::Network& net,
+                                           const net::NodeMask& active,
+                                           std::uint32_t ttl,
+                                           RunStats* stats = nullptr);
+
+/// Oracle equivalent of `ttl_flood_count` via per-node BFS.
+std::vector<std::uint32_t> ttl_flood_count_oracle(const net::Network& net,
+                                                  const net::NodeMask& active,
+                                                  std::uint32_t ttl);
+
+/// Min-id leader flood over the induced subgraph: every active node ends up
+/// knowing the smallest node id in its connected fragment. This both labels
+/// fragments (grouping, Sec. II-B last paragraph) and elects a unique
+/// leader per boundary. Inactive nodes map to kInvalidNode.
+std::vector<net::NodeId> leader_flood(const net::Network& net,
+                                      const net::NodeMask& active,
+                                      RunStats* stats = nullptr);
+
+/// Oracle equivalent of `leader_flood` via connected components.
+std::vector<net::NodeId> leader_flood_oracle(const net::Network& net,
+                                             const net::NodeMask& active);
+
+/// Distributed k-hop landmark election over the induced subgraph (mesh step
+/// I): iterated min-id suppression — a node becomes a landmark iff no
+/// already-elected landmark lies within `k` hops and it has the smallest id
+/// among undecided nodes in its k-hop neighborhood. The result is a maximal
+/// k-hop independent set: landmarks are pairwise > k hops apart, and every
+/// active node is within k hops of some landmark.
+std::vector<net::NodeId> khop_landmark_election(const net::Network& net,
+                                                const net::NodeMask& active,
+                                                std::uint32_t k,
+                                                RunStats* stats = nullptr);
+
+}  // namespace ballfit::sim

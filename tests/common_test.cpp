@@ -1,0 +1,184 @@
+// Tests for src/common: RNG determinism and statistics, assertions,
+// string/table formatting, parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace ballfit {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 9.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(9);
+  std::array<int, 7> counts{};
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 7, draws / 7 * 0.1);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.split();
+  // The child stream must not replay the parent stream.
+  Rng parent2(13);
+  (void)parent2();  // parent consumed one draw for the split
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child() == parent2());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Assert, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(BALLFIT_REQUIRE(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(BALLFIT_REQUIRE(true, "fine"));
+}
+
+TEST(Assert, AssertThrowsAssertionError) {
+  EXPECT_THROW(BALLFIT_ASSERT(1 == 2), AssertionError);
+  EXPECT_NO_THROW(BALLFIT_ASSERT(1 == 1));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, "--"), "x");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(format_percent(0.623, 1), "62.3%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Parallel, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i]++; }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, SingleThreadFallback) {
+  std::vector<int> hits(100, 0);
+  parallel_for(100, [&](std::size_t i) { hits[i]++; }, 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, [&](std::size_t i) { hits[i]++; }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace ballfit

@@ -1,0 +1,182 @@
+// Tests for Isolated Fragment Filtering and boundary grouping: fragment
+// size thresholds, TTL semantics, protocol-vs-oracle agreement, and
+// grouping of multiple boundaries.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/grouping.hpp"
+#include "core/iff.hpp"
+#include "core/stats.hpp"
+#include "geom/sampling.hpp"
+#include "model/csg.hpp"
+#include "model/shapes.hpp"
+#include "net/builder.hpp"
+
+namespace ballfit::core {
+namespace {
+
+using geom::Vec3;
+using net::NodeId;
+
+// Cluster helper: `count` nodes in a tight blob around `center` so they are
+// all mutually adjacent (diameter 1 hop).
+void add_blob(std::vector<Vec3>& pos, const Vec3& center, int count,
+              Rng& rng) {
+  for (int i = 0; i < count; ++i)
+    pos.push_back(center + geom::sample_in_ball(rng, {0, 0, 0}, 0.4));
+}
+
+TEST(Iff, SmallFragmentFiltered) {
+  Rng rng(1);
+  std::vector<Vec3> pos;
+  add_blob(pos, {0, 0, 0}, 30, rng);   // big fragment
+  add_blob(pos, {10, 0, 0}, 5, rng);   // isolated small fragment
+  const net::Network net(pos, std::vector<bool>(pos.size(), false), 1.0);
+
+  std::vector<bool> candidates(net.num_nodes(), true);
+  IffConfig cfg;
+  cfg.theta = 20;
+  cfg.ttl = 3;
+  const auto kept = iff_filter(net, candidates, cfg);
+  for (NodeId v = 0; v < 30; ++v) EXPECT_TRUE(kept[v]) << v;
+  for (NodeId v = 30; v < 35; ++v) EXPECT_FALSE(kept[v]) << v;
+}
+
+TEST(Iff, NonCandidatesNeverKept) {
+  Rng rng(2);
+  std::vector<Vec3> pos;
+  add_blob(pos, {0, 0, 0}, 40, rng);
+  const net::Network net(pos, std::vector<bool>(pos.size(), false), 1.0);
+  std::vector<bool> candidates(net.num_nodes(), true);
+  candidates[0] = false;
+  const auto kept = iff_filter(net, candidates);
+  EXPECT_FALSE(kept[0]);
+}
+
+TEST(Iff, TtlLimitsVisibility) {
+  // A path of 25 candidate nodes: with TTL 3 each node hears at most 7
+  // originators (itself + 3 each side) < θ=20 → everything filtered,
+  // even though the fragment itself has 25 nodes.
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 25; ++i) pos.push_back({i * 0.9, 0, 0});
+  const net::Network net(pos, std::vector<bool>(pos.size(), false), 1.0);
+  std::vector<bool> candidates(net.num_nodes(), true);
+  IffConfig cfg;
+  cfg.theta = 20;
+  cfg.ttl = 3;
+  const auto kept = iff_filter(net, candidates, cfg);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) EXPECT_FALSE(kept[v]);
+  // With a TTL that spans the path, everything survives.
+  cfg.ttl = 30;
+  const auto kept2 = iff_filter(net, candidates, cfg);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) EXPECT_TRUE(kept2[v]);
+}
+
+TEST(Iff, ProtocolMatchesOracle) {
+  Rng rng(3);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = 250;
+  opt.interior_count = 400;
+  const net::Network net = net::build_network(shape, opt, rng);
+  std::vector<bool> candidates(net.num_nodes(), false);
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    candidates[v] = rng.bernoulli(0.4);
+
+  IffConfig msg_cfg;
+  msg_cfg.use_message_passing = true;
+  IffConfig oracle_cfg;
+  oracle_cfg.use_message_passing = false;
+  EXPECT_EQ(iff_filter(net, candidates, msg_cfg),
+            iff_filter(net, candidates, oracle_cfg));
+}
+
+TEST(Iff, ReportsProtocolCost) {
+  Rng rng(4);
+  std::vector<Vec3> pos;
+  add_blob(pos, {0, 0, 0}, 30, rng);
+  const net::Network net(pos, std::vector<bool>(pos.size(), false), 1.0);
+  std::vector<bool> candidates(net.num_nodes(), true);
+  sim::RunStats stats;
+  (void)iff_filter(net, candidates, {}, &stats);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_LE(stats.rounds, 4u);  // TTL 3 → at most 4 delivery rounds
+}
+
+TEST(Grouping, TwoBoundariesTwoGroups) {
+  Rng rng(5);
+  std::vector<Vec3> pos;
+  add_blob(pos, {0, 0, 0}, 25, rng);
+  add_blob(pos, {10, 0, 0}, 25, rng);
+  // A bridge of non-boundary nodes keeps the network connected.
+  for (int i = 1; i < 12; ++i) pos.push_back({i * 0.85, 0.0, 0.0});
+  std::vector<bool> truth(pos.size(), false);
+  const net::Network net(pos, truth, 1.0);
+
+  std::vector<bool> boundary(net.num_nodes(), false);
+  for (NodeId v = 0; v < 50; ++v) boundary[v] = true;
+
+  const BoundaryGroups groups = group_boundaries(net, boundary);
+  EXPECT_EQ(groups.count(), 2u);
+  EXPECT_EQ(groups.groups[0].size(), 25u);
+  EXPECT_EQ(groups.groups[1].size(), 25u);
+  // Leaders are the min ids of each blob.
+  EXPECT_EQ(groups.leader[5], groups.leader[10]);
+  EXPECT_NE(groups.leader[5], groups.leader[30]);
+  // Non-boundary nodes have no leader.
+  EXPECT_EQ(groups.leader[55], net::kInvalidNode);
+}
+
+TEST(Grouping, ProtocolMatchesOracle) {
+  Rng rng(6);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = 250;
+  opt.interior_count = 350;
+  const net::Network net = net::build_network(shape, opt, rng);
+  std::vector<bool> boundary(net.num_nodes(), false);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) boundary[v] = rng.bernoulli(0.3);
+
+  const BoundaryGroups a = group_boundaries(net, boundary, true);
+  const BoundaryGroups b = group_boundaries(net, boundary, false);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.groups, b.groups);
+}
+
+TEST(Stats, CountsAndRates) {
+  // 4-node network: truth = {0,1}, detected = {1,2}.
+  std::vector<Vec3> pos = {{0, 0, 0}, {0.5, 0, 0}, {1.0, 0, 0}, {1.5, 0, 0}};
+  const net::Network net(pos, {true, true, false, false}, 1.0);
+  const DetectionStats s = evaluate_detection(net, {false, true, true, false});
+  EXPECT_EQ(s.true_boundary, 2u);
+  EXPECT_EQ(s.found, 2u);
+  EXPECT_EQ(s.correct, 1u);
+  EXPECT_EQ(s.mistaken, 1u);
+  EXPECT_EQ(s.missing, 1u);
+  EXPECT_DOUBLE_EQ(s.correct_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(s.mistaken_rate(), 0.5);
+  // Mistaken node 2 is 1 hop from correct node 1; missing node 0 likewise.
+  EXPECT_EQ(s.mistaken_hop_counts[0], 1u);
+  EXPECT_EQ(s.missing_hop_counts[0], 1u);
+}
+
+TEST(Stats, MergeAddsCounts) {
+  DetectionStats a, b;
+  a.true_boundary = 10;
+  a.correct = 9;
+  a.mistaken_hop_counts = {3, 1, 0, 0};
+  b.true_boundary = 20;
+  b.correct = 18;
+  b.mistaken_hop_counts = {1, 1, 1, 0};
+  const DetectionStats m = merge_stats({a, b});
+  EXPECT_EQ(m.true_boundary, 30u);
+  EXPECT_EQ(m.correct, 27u);
+  EXPECT_EQ(m.mistaken_hop_counts[0], 4u);
+  const auto dist = m.mistaken_hops();
+  EXPECT_NEAR(dist[0], 4.0 / 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ballfit::core

@@ -1,0 +1,243 @@
+// Tests for the mesh module: TriMesh bookkeeping and manifold reports on
+// hand-built meshes (tetrahedron, octahedron, non-manifold cases), the
+// landmark election oracle, and full surface construction on a sphere
+// network (closed genus-0 manifold expected).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "mesh/metrics.hpp"
+#include "mesh/obj_export.hpp"
+#include "mesh/surface_builder.hpp"
+#include "mesh/trimesh.hpp"
+#include "model/shapes.hpp"
+#include "net/builder.hpp"
+#include "net/graph.hpp"
+
+namespace ballfit::mesh {
+namespace {
+
+using geom::Vec3;
+using net::NodeId;
+
+TriMesh tetrahedron() {
+  TriMesh m({0, 1, 2, 3},
+            {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  for (std::uint32_t a = 0; a < 4; ++a)
+    for (std::uint32_t b = a + 1; b < 4; ++b) m.add_edge(a, b);
+  return m;
+}
+
+TriMesh octahedron() {
+  // Vertices: ±x, ±y, ±z unit points. 12 edges, 8 faces.
+  TriMesh m({0, 1, 2, 3, 4, 5},
+            {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1},
+             {0, 0, -1}});
+  const std::uint32_t px = 0, nx = 1, py = 2, ny = 3, pz = 4, nz = 5;
+  for (std::uint32_t eq1 : {px, nx})
+    for (std::uint32_t eq2 : {py, ny}) m.add_edge(eq1, eq2);
+  for (std::uint32_t pole : {pz, nz})
+    for (std::uint32_t eq : {px, nx, py, ny}) m.add_edge(pole, eq);
+  return m;
+}
+
+TEST(TriMesh, EdgeBookkeeping) {
+  TriMesh m({10, 20, 30}, {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  EXPECT_EQ(m.num_vertices(), 3u);
+  EXPECT_EQ(m.index_of(20), 1u);
+  EXPECT_EQ(m.index_of(99), TriMesh::kInvalidIndex);
+  m.add_edge(0, 1);
+  m.add_edge(0, 1);  // idempotent
+  EXPECT_EQ(m.num_edges(), 1u);
+  EXPECT_TRUE(m.has_edge(1, 0));
+  m.remove_edge(0, 1);
+  EXPECT_EQ(m.num_edges(), 0u);
+  EXPECT_THROW(m.add_edge(0, 0), InvalidArgument);
+}
+
+TEST(TriMesh, TriangleEnumeration) {
+  TriMesh m = tetrahedron();
+  const auto tris = m.triangles();
+  EXPECT_EQ(tris.size(), 4u);
+  const auto apexes = m.edge_triangle_apexes(0, 1);
+  EXPECT_EQ(apexes.size(), 2u);
+}
+
+TEST(TriMesh, TetrahedronIsClosedGenusZero) {
+  const auto rep = tetrahedron().manifold_report();
+  EXPECT_TRUE(rep.closed_manifold);
+  EXPECT_EQ(rep.euler_characteristic, 2);
+  EXPECT_EQ(rep.genus, 0);
+  EXPECT_EQ(rep.num_triangles, 4u);
+}
+
+TEST(TriMesh, OctahedronIsClosedGenusZero) {
+  const auto rep = octahedron().manifold_report();
+  EXPECT_TRUE(rep.closed_manifold);
+  EXPECT_EQ(rep.num_edges, 12u);
+  EXPECT_EQ(rep.num_triangles, 8u);
+  EXPECT_EQ(rep.euler_characteristic, 2);
+}
+
+TEST(TriMesh, OpenFanIsNotClosedManifold) {
+  // Single triangle: every edge has one face.
+  TriMesh m({0, 1, 2}, {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  m.add_edge(0, 1);
+  m.add_edge(1, 2);
+  m.add_edge(0, 2);
+  const auto rep = m.manifold_report();
+  EXPECT_FALSE(rep.closed_manifold);
+  EXPECT_EQ(rep.edges_under, 3u);
+  EXPECT_EQ(rep.num_triangles, 1u);
+}
+
+TEST(TriMesh, ThreeFaceEdgeDetected) {
+  // Paper Fig. 5(a): edge AB shared by three triangles ACB, ADB, AEB.
+  TriMesh m({0, 1, 2, 3, 4},
+            {{0, 0, 0}, {1, 0, 0}, {0.5, 1, 0}, {0.5, -1, 0}, {0.5, 0, 1}});
+  m.add_edge(0, 1);
+  for (std::uint32_t apex : {2u, 3u, 4u}) {
+    m.add_edge(0, apex);
+    m.add_edge(1, apex);
+  }
+  EXPECT_EQ(m.edge_triangle_apexes(0, 1).size(), 3u);
+  const auto rep = m.manifold_report();
+  EXPECT_EQ(rep.edges_over, 1u);
+  EXPECT_FALSE(rep.closed_manifold);
+}
+
+TEST(LandmarkOracle, SpacingAndCoverage) {
+  Rng rng(3);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = 300;
+  opt.interior_count = 400;
+  const net::Network net = net::build_network(shape, opt, rng);
+  net::NodeMask active(net.num_nodes(), true);
+  const std::uint32_t k = 3;
+  const auto landmarks = greedy_landmark_oracle(net, active, k);
+  ASSERT_FALSE(landmarks.empty());
+  for (NodeId lm : landmarks) {
+    const auto dist = net::hop_distances(net, lm, &active, k);
+    for (NodeId other : landmarks)
+      if (other != lm)
+        EXPECT_TRUE(dist[other] == net::kUnreachable || dist[other] > k);
+  }
+  const auto assoc = net::multi_source_bfs(net, landmarks, &active);
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    EXPECT_LE(assoc.distance[v], k);
+}
+
+// Full surface construction on a sphere boundary. The expected outcome is
+// a closed (or very nearly closed) triangular mesh around the sphere.
+class SphereSurface : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(10);
+    const model::SphereShape shape({0, 0, 0}, 4.0);
+    net::BuildOptions opt;
+    opt.surface_count = 900;
+    opt.interior_count = 1400;
+    net_ = std::make_unique<net::Network>(
+        net::build_network(shape, opt, rng));
+
+    core::PipelineConfig cfg;
+    cfg.use_true_coordinates = true;
+    result_ = std::make_unique<core::PipelineResult>(
+        core::detect_boundaries(*net_, cfg));
+  }
+
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<core::PipelineResult> result_;
+};
+
+TEST_F(SphereSurface, BuildsOneSubstantialSurface) {
+  const SurfaceResult surfaces =
+      build_surfaces(*net_, result_->boundary, result_->groups);
+  ASSERT_GE(surfaces.surfaces.size(), 1u);
+  const BoundarySurface& s = surfaces.surfaces[0];
+  EXPECT_GT(s.landmarks.size(), 10u);
+  EXPECT_GT(s.mesh.num_edges(), s.landmarks.size());  // E > V on a closed surf
+  EXPECT_GT(s.cdg_edges, 0u);
+  EXPECT_GT(s.cdm_edges, 0u);
+}
+
+TEST_F(SphereSurface, MeshIsMostlyTwoManifold) {
+  const SurfaceResult surfaces =
+      build_surfaces(*net_, result_->boundary, result_->groups);
+  const BoundarySurface& s = surfaces.surfaces[0];
+  const auto rep = s.mesh.manifold_report();
+  ASSERT_GT(rep.num_edges, 0u);
+  // Step V guarantees no edge keeps more than two faces.
+  EXPECT_EQ(rep.edges_over, 0u);
+  // The clear majority of edges bound exactly two triangles. (A fully
+  // closed mesh would be 100%; landmark meshes on noisy boundary sets
+  // retain some under-saturated seam edges.)
+  EXPECT_GT(static_cast<double>(rep.edges_two_faces) /
+                static_cast<double>(rep.num_edges),
+            0.6);
+}
+
+TEST_F(SphereSurface, VerticesLieOnTrueSurface) {
+  const SurfaceResult surfaces =
+      build_surfaces(*net_, result_->boundary, result_->groups);
+  const model::SphereShape shape({0, 0, 0}, 4.0);
+  const auto quality = evaluate_surface(surfaces.surfaces[0], shape);
+  EXPECT_LT(quality.vertex_deviation_mean, 0.15);
+  EXPECT_LT(quality.centroid_deviation_mean, 0.8);
+}
+
+TEST_F(SphereSurface, VoronoiOwnersCoverGroup) {
+  const SurfaceResult surfaces =
+      build_surfaces(*net_, result_->boundary, result_->groups);
+  const BoundarySurface& s = surfaces.surfaces[0];
+  // Each group node has an owner; owners are landmarks.
+  std::set<NodeId> lm_set(s.landmarks.begin(), s.landmarks.end());
+  for (NodeId v : result_->groups.groups[0]) {
+    ASSERT_NE(s.voronoi_owner[v], net::kInvalidNode);
+    EXPECT_TRUE(lm_set.count(s.voronoi_owner[v]) == 1);
+  }
+}
+
+TEST_F(SphereSurface, LandmarkSpacingKnobChangesResolution) {
+  MeshConfig fine;
+  fine.landmark_spacing = 3;
+  MeshConfig coarse;
+  coarse.landmark_spacing = 5;
+  const auto f = build_surfaces(*net_, result_->boundary, result_->groups, fine);
+  const auto c =
+      build_surfaces(*net_, result_->boundary, result_->groups, coarse);
+  ASSERT_FALSE(f.surfaces.empty());
+  ASSERT_FALSE(c.surfaces.empty());
+  EXPECT_GT(f.surfaces[0].landmarks.size(), c.surfaces[0].landmarks.size());
+}
+
+TEST_F(SphereSurface, ObjExportWellFormed) {
+  const SurfaceResult surfaces =
+      build_surfaces(*net_, result_->boundary, result_->groups);
+  const std::string obj = to_obj(surfaces);
+  // Counts of v/f lines match the mesh.
+  std::size_t v_lines = 0, f_lines = 0;
+  std::istringstream in(obj);
+  std::string line;
+  std::size_t want_v = 0, want_f = 0;
+  for (const auto& s : surfaces.surfaces) {
+    want_v += s.mesh.num_vertices();
+    want_f += s.mesh.triangles().size();
+  }
+  while (std::getline(in, line)) {
+    if (line.rfind("v ", 0) == 0) ++v_lines;
+    if (line.rfind("f ", 0) == 0) ++f_lines;
+  }
+  EXPECT_EQ(v_lines, want_v);
+  EXPECT_EQ(f_lines, want_f);
+}
+
+}  // namespace
+}  // namespace ballfit::mesh
