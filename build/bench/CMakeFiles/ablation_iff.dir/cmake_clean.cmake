@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iff.dir/ablation_iff.cpp.o"
+  "CMakeFiles/ablation_iff.dir/ablation_iff.cpp.o.d"
+  "ablation_iff"
+  "ablation_iff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

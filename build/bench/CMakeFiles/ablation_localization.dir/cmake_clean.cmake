@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_localization.dir/ablation_localization.cpp.o"
+  "CMakeFiles/ablation_localization.dir/ablation_localization.cpp.o.d"
+  "ablation_localization"
+  "ablation_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_radius.dir/ablation_radius.cpp.o"
+  "CMakeFiles/ablation_radius.dir/ablation_radius.cpp.o.d"
+  "ablation_radius"
+  "ablation_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_grid.dir/calibrate_grid.cpp.o"
+  "CMakeFiles/calibrate_grid.dir/calibrate_grid.cpp.o.d"
+  "calibrate_grid"
+  "calibrate_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_statistics.dir/fig11_statistics.cpp.o"
+  "CMakeFiles/fig11_statistics.dir/fig11_statistics.cpp.o.d"
+  "fig11_statistics"
+  "fig11_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_boundary_detection.dir/fig1_boundary_detection.cpp.o"
+  "CMakeFiles/fig1_boundary_detection.dir/fig1_boundary_detection.cpp.o.d"
+  "fig1_boundary_detection"
+  "fig1_boundary_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_boundary_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

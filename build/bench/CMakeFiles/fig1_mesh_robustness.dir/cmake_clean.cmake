@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mesh_robustness.dir/fig1_mesh_robustness.cpp.o"
+  "CMakeFiles/fig1_mesh_robustness.dir/fig1_mesh_robustness.cpp.o.d"
+  "fig1_mesh_robustness"
+  "fig1_mesh_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mesh_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

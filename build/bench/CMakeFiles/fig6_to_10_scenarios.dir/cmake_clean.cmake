@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_to_10_scenarios.dir/fig6_to_10_scenarios.cpp.o"
+  "CMakeFiles/fig6_to_10_scenarios.dir/fig6_to_10_scenarios.cpp.o.d"
+  "fig6_to_10_scenarios"
+  "fig6_to_10_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_to_10_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_balls.dir/probe_balls.cpp.o"
+  "CMakeFiles/probe_balls.dir/probe_balls.cpp.o.d"
+  "probe_balls"
+  "probe_balls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_balls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

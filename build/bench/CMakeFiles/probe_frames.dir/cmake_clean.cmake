@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_frames.dir/probe_frames.cpp.o"
+  "CMakeFiles/probe_frames.dir/probe_frames.cpp.o.d"
+  "probe_frames"
+  "probe_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

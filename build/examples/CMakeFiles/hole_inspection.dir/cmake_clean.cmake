@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hole_inspection.dir/hole_inspection.cpp.o"
+  "CMakeFiles/hole_inspection.dir/hole_inspection.cpp.o.d"
+  "hole_inspection"
+  "hole_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hole_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

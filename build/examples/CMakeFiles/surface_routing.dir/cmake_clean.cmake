@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surface_routing.dir/surface_routing.cpp.o"
+  "CMakeFiles/surface_routing.dir/surface_routing.cpp.o.d"
+  "surface_routing"
+  "surface_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surface_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/underwater_survey.dir/underwater_survey.cpp.o"
+  "CMakeFiles/underwater_survey.dir/underwater_survey.cpp.o.d"
+  "underwater_survey"
+  "underwater_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/underwater_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_baselines.dir/centralized_ball.cpp.o"
+  "CMakeFiles/ballfit_baselines.dir/centralized_ball.cpp.o.d"
+  "CMakeFiles/ballfit_baselines.dir/degree_threshold.cpp.o"
+  "CMakeFiles/ballfit_baselines.dir/degree_threshold.cpp.o.d"
+  "CMakeFiles/ballfit_baselines.dir/isoset.cpp.o"
+  "CMakeFiles/ballfit_baselines.dir/isoset.cpp.o.d"
+  "libballfit_baselines.a"
+  "libballfit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

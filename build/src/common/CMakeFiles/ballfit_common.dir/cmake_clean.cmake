@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_common.dir/log.cpp.o"
+  "CMakeFiles/ballfit_common.dir/log.cpp.o.d"
+  "CMakeFiles/ballfit_common.dir/parallel.cpp.o"
+  "CMakeFiles/ballfit_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/ballfit_common.dir/strings.cpp.o"
+  "CMakeFiles/ballfit_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ballfit_common.dir/table.cpp.o"
+  "CMakeFiles/ballfit_common.dir/table.cpp.o.d"
+  "libballfit_common.a"
+  "libballfit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

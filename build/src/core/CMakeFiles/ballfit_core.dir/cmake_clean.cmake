@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_core.dir/grouping.cpp.o"
+  "CMakeFiles/ballfit_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/ballfit_core.dir/iff.cpp.o"
+  "CMakeFiles/ballfit_core.dir/iff.cpp.o.d"
+  "CMakeFiles/ballfit_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ballfit_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ballfit_core.dir/stats.cpp.o"
+  "CMakeFiles/ballfit_core.dir/stats.cpp.o.d"
+  "CMakeFiles/ballfit_core.dir/ubf.cpp.o"
+  "CMakeFiles/ballfit_core.dir/ubf.cpp.o.d"
+  "libballfit_core.a"
+  "libballfit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

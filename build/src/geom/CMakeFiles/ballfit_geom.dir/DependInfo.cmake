@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/grid.cpp" "src/geom/CMakeFiles/ballfit_geom.dir/grid.cpp.o" "gcc" "src/geom/CMakeFiles/ballfit_geom.dir/grid.cpp.o.d"
+  "/root/repo/src/geom/sampling.cpp" "src/geom/CMakeFiles/ballfit_geom.dir/sampling.cpp.o" "gcc" "src/geom/CMakeFiles/ballfit_geom.dir/sampling.cpp.o.d"
+  "/root/repo/src/geom/trisphere.cpp" "src/geom/CMakeFiles/ballfit_geom.dir/trisphere.cpp.o" "gcc" "src/geom/CMakeFiles/ballfit_geom.dir/trisphere.cpp.o.d"
+  "/root/repo/src/geom/vec3.cpp" "src/geom/CMakeFiles/ballfit_geom.dir/vec3.cpp.o" "gcc" "src/geom/CMakeFiles/ballfit_geom.dir/vec3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ballfit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_geom.dir/grid.cpp.o"
+  "CMakeFiles/ballfit_geom.dir/grid.cpp.o.d"
+  "CMakeFiles/ballfit_geom.dir/sampling.cpp.o"
+  "CMakeFiles/ballfit_geom.dir/sampling.cpp.o.d"
+  "CMakeFiles/ballfit_geom.dir/trisphere.cpp.o"
+  "CMakeFiles/ballfit_geom.dir/trisphere.cpp.o.d"
+  "CMakeFiles/ballfit_geom.dir/vec3.cpp.o"
+  "CMakeFiles/ballfit_geom.dir/vec3.cpp.o.d"
+  "libballfit_geom.a"
+  "libballfit_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

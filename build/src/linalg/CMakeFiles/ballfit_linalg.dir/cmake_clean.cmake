@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/ballfit_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/ballfit_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ballfit_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/ballfit_linalg.dir/mds.cpp.o"
+  "CMakeFiles/ballfit_linalg.dir/mds.cpp.o.d"
+  "CMakeFiles/ballfit_linalg.dir/procrustes.cpp.o"
+  "CMakeFiles/ballfit_linalg.dir/procrustes.cpp.o.d"
+  "libballfit_linalg.a"
+  "libballfit_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_localization.dir/local_frame.cpp.o"
+  "CMakeFiles/ballfit_localization.dir/local_frame.cpp.o.d"
+  "libballfit_localization.a"
+  "libballfit_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

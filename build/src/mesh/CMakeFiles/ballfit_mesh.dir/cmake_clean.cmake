@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_mesh.dir/metrics.cpp.o"
+  "CMakeFiles/ballfit_mesh.dir/metrics.cpp.o.d"
+  "CMakeFiles/ballfit_mesh.dir/obj_export.cpp.o"
+  "CMakeFiles/ballfit_mesh.dir/obj_export.cpp.o.d"
+  "CMakeFiles/ballfit_mesh.dir/surface_builder.cpp.o"
+  "CMakeFiles/ballfit_mesh.dir/surface_builder.cpp.o.d"
+  "CMakeFiles/ballfit_mesh.dir/trimesh.cpp.o"
+  "CMakeFiles/ballfit_mesh.dir/trimesh.cpp.o.d"
+  "libballfit_mesh.a"
+  "libballfit_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

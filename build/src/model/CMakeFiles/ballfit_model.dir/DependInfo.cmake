@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/csg.cpp" "src/model/CMakeFiles/ballfit_model.dir/csg.cpp.o" "gcc" "src/model/CMakeFiles/ballfit_model.dir/csg.cpp.o.d"
+  "/root/repo/src/model/sampler.cpp" "src/model/CMakeFiles/ballfit_model.dir/sampler.cpp.o" "gcc" "src/model/CMakeFiles/ballfit_model.dir/sampler.cpp.o.d"
+  "/root/repo/src/model/shape.cpp" "src/model/CMakeFiles/ballfit_model.dir/shape.cpp.o" "gcc" "src/model/CMakeFiles/ballfit_model.dir/shape.cpp.o.d"
+  "/root/repo/src/model/shapes.cpp" "src/model/CMakeFiles/ballfit_model.dir/shapes.cpp.o" "gcc" "src/model/CMakeFiles/ballfit_model.dir/shapes.cpp.o.d"
+  "/root/repo/src/model/zoo.cpp" "src/model/CMakeFiles/ballfit_model.dir/zoo.cpp.o" "gcc" "src/model/CMakeFiles/ballfit_model.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ballfit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ballfit_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_model.dir/csg.cpp.o"
+  "CMakeFiles/ballfit_model.dir/csg.cpp.o.d"
+  "CMakeFiles/ballfit_model.dir/sampler.cpp.o"
+  "CMakeFiles/ballfit_model.dir/sampler.cpp.o.d"
+  "CMakeFiles/ballfit_model.dir/shape.cpp.o"
+  "CMakeFiles/ballfit_model.dir/shape.cpp.o.d"
+  "CMakeFiles/ballfit_model.dir/shapes.cpp.o"
+  "CMakeFiles/ballfit_model.dir/shapes.cpp.o.d"
+  "CMakeFiles/ballfit_model.dir/zoo.cpp.o"
+  "CMakeFiles/ballfit_model.dir/zoo.cpp.o.d"
+  "libballfit_model.a"
+  "libballfit_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

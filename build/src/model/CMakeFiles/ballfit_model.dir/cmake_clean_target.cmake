@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libballfit_model.a"
+)

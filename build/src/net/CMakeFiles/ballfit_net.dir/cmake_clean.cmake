@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_net.dir/builder.cpp.o"
+  "CMakeFiles/ballfit_net.dir/builder.cpp.o.d"
+  "CMakeFiles/ballfit_net.dir/graph.cpp.o"
+  "CMakeFiles/ballfit_net.dir/graph.cpp.o.d"
+  "CMakeFiles/ballfit_net.dir/measurement.cpp.o"
+  "CMakeFiles/ballfit_net.dir/measurement.cpp.o.d"
+  "CMakeFiles/ballfit_net.dir/network.cpp.o"
+  "CMakeFiles/ballfit_net.dir/network.cpp.o.d"
+  "libballfit_net.a"
+  "libballfit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ballfit_sim.dir/protocols.cpp.o"
+  "CMakeFiles/ballfit_sim.dir/protocols.cpp.o.d"
+  "libballfit_sim.a"
+  "libballfit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ballfit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

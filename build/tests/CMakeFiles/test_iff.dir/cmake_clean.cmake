@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iff.dir/iff_test.cpp.o"
+  "CMakeFiles/test_iff.dir/iff_test.cpp.o.d"
+  "test_iff"
+  "test_iff.pdb"
+  "test_iff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_iff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localization_advanced.dir/localization_advanced_test.cpp.o"
+  "CMakeFiles/test_localization_advanced.dir/localization_advanced_test.cpp.o.d"
+  "test_localization_advanced"
+  "test_localization_advanced.pdb"
+  "test_localization_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localization_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_advanced.dir/mesh_advanced_test.cpp.o"
+  "CMakeFiles/test_mesh_advanced.dir/mesh_advanced_test.cpp.o.d"
+  "test_mesh_advanced"
+  "test_mesh_advanced.pdb"
+  "test_mesh_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

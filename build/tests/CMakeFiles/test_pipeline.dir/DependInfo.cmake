@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/test_pipeline.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ballfit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ballfit_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ballfit_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ballfit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ballfit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ballfit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/localization/CMakeFiles/ballfit_localization.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ballfit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/ballfit_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ballfit_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

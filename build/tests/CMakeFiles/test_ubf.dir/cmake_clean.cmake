@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ubf.dir/ubf_test.cpp.o"
+  "CMakeFiles/test_ubf.dir/ubf_test.cpp.o.d"
+  "test_ubf"
+  "test_ubf.pdb"
+  "test_ubf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ubf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ubf_advanced.dir/ubf_advanced_test.cpp.o"
+  "CMakeFiles/test_ubf_advanced.dir/ubf_advanced_test.cpp.o.d"
+  "test_ubf_advanced"
+  "test_ubf_advanced.pdb"
+  "test_ubf_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ubf_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
