@@ -60,4 +60,13 @@ inline double double_flag(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+/// Parses "--out path" style string flags; returns fallback when absent.
+inline std::string string_flag(int argc, char** argv, const std::string& name,
+                               const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
 }  // namespace ballfit::bench

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
@@ -27,6 +28,9 @@ int main(int argc, char** argv) {
   const auto seed =
       static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
   const double scale = bench::double_flag(argc, argv, "--scale", 0.8);
+  bench::BenchReport report(
+      "fig11_statistics",
+      bench::string_flag(argc, argv, "--out", "bench_results.json"));
 
   std::printf("== Fig. 11(a,b,c): pooled statistics over all scenarios ==\n");
 
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
 
   for (int epct = 0; epct <= 100; epct += step) {
     Stopwatch timer;
+    bench::RunRecord& run = report.begin_run();
     std::vector<core::DetectionStats> parts;
     for (std::size_t k = 0; k < networks.size(); ++k) {
       core::PipelineConfig cfg;
@@ -51,6 +56,11 @@ int main(int argc, char** argv) {
       parts.push_back(core::detect_and_evaluate(networks[k], cfg));
     }
     const core::DetectionStats s = core::merge_stats(parts);
+    run.param("scenario", "pooled")
+        .param("seed", static_cast<double>(seed))
+        .param("scale", scale)
+        .param("error", epct / 100.0)
+        .detection(s);
     rates.add_row({std::to_string(epct) + "%",
                    std::to_string(s.true_boundary),
                    format_percent(s.found_rate()),
@@ -75,5 +85,7 @@ int main(int argc, char** argv) {
   mistaken.print();
   std::printf("\n-- Fig. 11(c): missing-node hop distribution --\n");
   missing.print();
+  report.print_last_run_summary();
+  report.write();
   return 0;
 }

@@ -9,10 +9,13 @@
 ///   Fig. 1(i): the same distribution for missing nodes.
 ///
 /// Flags: --step <pct> (default 20), --seed <n>, --scale <x> (default 1.0,
-/// the paper's 4210-node operating point).
+/// the paper's 4210-node operating point), --out <path> (default
+/// bench_results.json — per-run telemetry: per-stage timings, message
+/// costs, detection stats).
 
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
@@ -25,6 +28,9 @@ int main(int argc, char** argv) {
   const auto seed =
       static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
   const double scale = bench::double_flag(argc, argv, "--scale", 0.8);
+  bench::BenchReport report(
+      "fig1_boundary_detection",
+      bench::string_flag(argc, argv, "--out", "bench_results.json"));
 
   std::printf("== Fig. 1(g,h,i): boundary detection vs measurement error ==\n");
   const model::Scenario scenario = model::fig1_network(scale);
@@ -37,10 +43,20 @@ int main(int argc, char** argv) {
 
   for (int epct = 0; epct <= 100; epct += step) {
     Stopwatch timer;
+    bench::RunRecord& run = report.begin_run();
     core::PipelineConfig cfg;
     cfg.measurement_error = epct / 100.0;
     cfg.noise_seed = seed;
-    const core::DetectionStats s = core::detect_and_evaluate(network, cfg);
+    const core::PipelineResult result = core::detect_boundaries(network, cfg);
+    const core::DetectionStats s =
+        core::evaluate_detection(network, result.boundary);
+    run.param("scenario", scenario.name)
+        .param("seed", static_cast<double>(seed))
+        .param("scale", scale)
+        .param("error", epct / 100.0)
+        .detection(s)
+        .cost("iff", result.iff_cost)
+        .cost("grouping", result.grouping_cost);
     counts.add_row({std::to_string(epct) + "%",
                     std::to_string(s.true_boundary), std::to_string(s.found),
                     std::to_string(s.correct), std::to_string(s.mistaken),
@@ -63,5 +79,7 @@ int main(int argc, char** argv) {
   mistaken.print();
   std::printf("\n-- Fig. 1(i): missing-node hop distribution --\n");
   missing.print();
+  report.print_last_run_summary();
+  report.write();
   return 0;
 }

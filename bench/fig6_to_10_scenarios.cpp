@@ -7,10 +7,12 @@
 /// of holes), and the mesh statistics, and exports an OBJ per scenario (the
 /// stand-in for the paper's rendered panels).
 ///
-/// Flags: --seed <n>, --scale <x> (default 0.85), --error <pct> (default 0).
+/// Flags: --seed <n>, --scale <x> (default 0.85), --error <pct> (default 0),
+/// --out <path> (default bench_results.json).
 
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
@@ -25,6 +27,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
   const double scale = bench::double_flag(argc, argv, "--scale", 0.85);
   const int epct = bench::int_flag(argc, argv, "--error", 0);
+  bench::BenchReport report(
+      "fig6_to_10_scenarios",
+      bench::string_flag(argc, argv, "--out", "bench_results.json"));
 
   std::printf("== Figs. 6-10: evaluation scenarios (error %d%%) ==\n", epct);
 
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
                "genus-ok"});
 
   for (const model::Scenario& scenario : model::evaluation_scenarios(scale)) {
+    bench::RunRecord& run = report.begin_run();
     const net::Network network =
         bench::build_scenario_network(scenario, seed);
 
@@ -42,6 +48,13 @@ int main(int argc, char** argv) {
     const core::PipelineResult result = core::detect_boundaries(network, cfg);
     const core::DetectionStats s =
         core::evaluate_detection(network, result.boundary);
+    run.param("scenario", scenario.name)
+        .param("seed", static_cast<double>(seed))
+        .param("scale", scale)
+        .param("error", epct / 100.0)
+        .detection(s)
+        .cost("iff", result.iff_cost)
+        .cost("grouping", result.grouping_cost);
 
     std::size_t substantial = 0;
     for (const auto& g : result.groups.groups)
@@ -81,5 +94,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "  wrote %s\n", path.c_str());
   }
   table.print();
+  report.print_last_run_summary();
+  report.write();
   return 0;
 }

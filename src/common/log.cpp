@@ -1,11 +1,16 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace ballfit {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Serializes write(): interleaved fprintf from parallel_for workers would
+// shear lines (and is a data race on the stream).
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,10 +24,13 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void Log::set_level(LogLevel level) { g_level = level; }
-LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Log::write(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -14,8 +14,9 @@ namespace ballfit {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log sink. Not thread-safe by design: the simulator is
-/// single-threaded and benches log only from the main thread.
+/// Process-wide log sink. Thread-safe: the level is an atomic and
+/// `write` serializes output under a mutex, because the per-node pipeline
+/// stages run under `parallel_for` and may log from worker threads.
 class Log {
  public:
   static void set_level(LogLevel level);

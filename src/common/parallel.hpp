@@ -7,7 +7,10 @@
 /// parallel and read-only over shared state, so a plain thread split is all
 /// the machinery we need — no pools, no work stealing.
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -17,6 +20,11 @@ namespace ballfit {
 /// tiny range) runs inline; otherwise splits the range into contiguous
 /// blocks, one per worker. `fn` must be safe to call concurrently on
 /// distinct indices.
+///
+/// Exception-safe: if `fn` throws on a worker, the first exception is
+/// captured and rethrown on the joining thread (a throw that escaped a
+/// worker would call std::terminate). The remaining workers stop at their
+/// next index, so not every index is necessarily visited after a failure.
 template <typename Fn>
 void parallel_for(std::size_t count, Fn&& fn, unsigned threads) {
   if (threads <= 1 || count < 2 * threads) {
@@ -25,16 +33,29 @@ void parallel_for(std::size_t count, Fn&& fn, unsigned threads) {
   }
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
   const std::size_t block = (count + threads - 1) / threads;
   for (unsigned t = 0; t < threads; ++t) {
     const std::size_t begin = static_cast<std::size_t>(t) * block;
     const std::size_t end = std::min(count, begin + block);
     if (begin >= end) break;
-    workers.emplace_back([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    workers.emplace_back([&, begin, end] {
+      try {
+        for (std::size_t i = begin;
+             i < end && !failed.load(std::memory_order_relaxed); ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
     });
   }
   for (std::thread& w : workers) w.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 /// The default worker count: hardware concurrency, at least 1.

@@ -1,9 +1,11 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/parallel.hpp"
 #include "localization/local_frame.hpp"
+#include "obs/trace.hpp"
 
 namespace ballfit::core {
 
@@ -19,6 +21,7 @@ std::size_t PipelineResult::num_boundary() const {
 
 PipelineResult detect_boundaries(const net::Network& network,
                                  const PipelineConfig& config) {
+  BALLFIT_SPAN("pipeline");
   PipelineResult result;
   const unsigned threads =
       config.threads == 0 ? default_threads() : config.threads;
@@ -37,23 +40,41 @@ PipelineResult detect_boundaries(const net::Network& network,
   // split across threads; vector<bool> is not safe for concurrent writes,
   // hence the char staging buffer.
   if (config.use_true_coordinates) {
+    BALLFIT_SPAN("ubf");
     result.ubf_candidates = ubf.detect_with_true_coordinates();
   } else {
-    const net::NoisyDistanceModel model(network, config.measurement_error,
-                                        config.noise_seed);
-    const localization::Localizer localizer(network, model);
-    result.ubf_candidates = ubf.detect(localizer, threads);
+    std::optional<net::NoisyDistanceModel> model;
+    std::optional<localization::Localizer> localizer;
+    {
+      BALLFIT_SPAN("measurement");
+      model.emplace(network, config.measurement_error, config.noise_seed);
+      localizer.emplace(network, *model);
+    }
+    BALLFIT_SPAN("ubf");
+    result.ubf_candidates = ubf.detect(*localizer, threads);
   }
 
   // --- Phase 2: Isolated Fragment Filtering.
-  result.boundary =
-      iff_filter(network, result.ubf_candidates, config.iff, &result.iff_cost);
+  {
+    BALLFIT_SPAN("iff");
+    result.boundary = iff_filter(network, result.ubf_candidates, config.iff,
+                                 &result.iff_cost);
+  }
 
   // --- Grouping.
   if (config.group) {
+    BALLFIT_SPAN("grouping");
     result.groups =
         group_boundaries(network, result.boundary,
                          config.iff.use_message_passing, &result.grouping_cost);
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("pipeline.runs").add(1);
+    reg.counter("pipeline.nodes").add(network.num_nodes());
+    reg.counter("pipeline.ubf_candidates").add(result.num_candidates());
+    reg.counter("pipeline.boundary_nodes").add(result.num_boundary());
   }
   return result;
 }

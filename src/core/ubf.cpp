@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "geom/trisphere.hpp"
 #include "net/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace ballfit::core {
 
@@ -121,11 +122,13 @@ UnitBallFitting::collect_empty_balls(const std::vector<Vec3>& coords,
                                      std::size_t self_index,
                                      std::size_t witness_count,
                                      std::size_t max_balls,
-                                     double coord_uncertainty) const {
+                                     double coord_uncertainty,
+                                     UbfNodeDiagnostics* diag) const {
   BALLFIT_REQUIRE(self_index < coords.size(), "self index out of range");
   const Vec3& self = coords[self_index];
   const InsideLimits limits = inside_limits(coord_uncertainty);
 
+  UbfNodeDiagnostics local;
   std::vector<std::pair<std::size_t, std::size_t>> out;
   for (std::size_t j = 0; j < witness_count && out.size() < max_balls; ++j) {
     if (j == self_index) continue;
@@ -135,15 +138,19 @@ UnitBallFitting::collect_empty_balls(const std::vector<Vec3>& coords,
       const geom::TrisphereResult balls =
           geom::solve_trisphere(self, coords[j], coords[k], radius_);
       for (int c = 0; c < balls.count; ++c) {
+        ++local.balls_tested;
         if (ball_is_empty(coords, balls.centers[c], self_index, j, k,
-                          witness_count, limits.one_hop_sq,
-                          limits.two_hop_sq)) {
+                          witness_count, limits.one_hop_sq, limits.two_hop_sq,
+                          &local.nodes_checked)) {
+          ++local.empty_balls;
           out.push_back({j, k});
           break;  // one empty side per witness pair is enough
         }
       }
     }
   }
+  local.found_empty_ball = !out.empty();
+  if (diag != nullptr) *diag = local;
   return out;
 }
 
@@ -189,57 +196,97 @@ std::vector<bool> UnitBallFitting::detect(
   const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
   const unsigned workers = threads == 0 ? default_threads() : threads;
 
+  // Per-node work histograms (Theorem 1's Θ(ρ³) in the wild). Handles are
+  // fetched once here so the parallel workers below never touch the
+  // registry map; null when collection is disabled.
+  obs::Histogram* h_neighbors = nullptr;
+  obs::Histogram* h_balls = nullptr;
+  obs::Histogram* h_empty = nullptr;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    h_neighbors = &reg.histogram("ubf.node_neighbors",
+                                 {4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64});
+    h_balls = &reg.histogram("ubf.candidate_balls",
+                             {0, 50, 100, 200, 400, 800, 1600, 3200});
+    h_empty = &reg.histogram("ubf.empty_balls", {0, 1, 2, 4, 8, 16, 32});
+  }
+
   // Round 1: every node builds its local frame (the expensive stage).
   std::vector<localization::LocalFrame> frames(n);
-  parallel_for(
-      n,
-      [&](std::size_t i) {
-        const auto id = static_cast<NodeId>(i);
-        frames[i] =
-            two_hop ? localizer.mdsmap_frame(id) : localizer.local_frame(id);
-      },
-      workers);
+  {
+    BALLFIT_SPAN("mds_frames");
+    const std::string parent = obs::current_span_path();
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          const obs::SpanPathScope adopt(parent);
+          BALLFIT_SPAN("frame");
+          const auto id = static_cast<NodeId>(i);
+          frames[i] =
+              two_hop ? localizer.mdsmap_frame(id) : localizer.local_frame(id);
+        },
+        workers);
+  }
 
   // Round 2: per-node test + witness cross-verification.
   std::vector<char> flags(n, 0);
-  parallel_for(
-      n,
-      [&](std::size_t i) {
-        const localization::LocalFrame& frame = frames[i];
-        if (!frame.ok) {
-          flags[i] = config_.degenerate_is_boundary ? 1 : 0;
-          return;
-        }
-        BALLFIT_ASSERT(frame.members[0] == static_cast<NodeId>(i));
-        if (!frame_reliable(frame.stress_rms)) {
-          flags[i] = 0;
-          return;
-        }
-        if (!config_.cross_verify) {
-          flags[i] = test_node(frame.coords, 0, frame.one_hop_count, nullptr,
-                               frame.stress_rms)
-                         ? 1
-                         : 0;
-          return;
-        }
-        const std::size_t pool =
-            std::max(config_.verify_pool, config_.min_empty_balls);
-        const auto balls = collect_empty_balls(frame.coords, 0,
-                                               frame.one_hop_count, pool,
-                                               frame.stress_rms);
-        std::size_t verified = 0;
-        for (const auto& [j, k] : balls) {
-          const NodeId jn = frame.members[j];
-          const NodeId kn = frame.members[k];
-          if (witness_confirms(frames[jn], jn, static_cast<NodeId>(i), kn) &&
-              witness_confirms(frames[kn], kn, static_cast<NodeId>(i), jn)) {
-            ++verified;
-            if (verified >= config_.min_empty_balls) break;
+  {
+    BALLFIT_SPAN("ball_test");
+    const std::string parent = obs::current_span_path();
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          const obs::SpanPathScope adopt(parent);
+          BALLFIT_SPAN("node");
+          const localization::LocalFrame& frame = frames[i];
+          if (!frame.ok) {
+            flags[i] = config_.degenerate_is_boundary ? 1 : 0;
+            return;
           }
-        }
-        flags[i] = verified >= config_.min_empty_balls ? 1 : 0;
-      },
-      workers);
+          BALLFIT_ASSERT(frame.members[0] == static_cast<NodeId>(i));
+          if (h_neighbors != nullptr) {
+            h_neighbors->observe(
+                static_cast<double>(frame.one_hop_count - 1));
+          }
+          if (!frame_reliable(frame.stress_rms)) {
+            flags[i] = 0;
+            return;
+          }
+          UbfNodeDiagnostics diag;
+          if (!config_.cross_verify) {
+            flags[i] = test_node(frame.coords, 0, frame.one_hop_count, &diag,
+                                 frame.stress_rms)
+                           ? 1
+                           : 0;
+          } else {
+            const std::size_t pool =
+                std::max(config_.verify_pool, config_.min_empty_balls);
+            const auto balls =
+                collect_empty_balls(frame.coords, 0, frame.one_hop_count,
+                                    pool, frame.stress_rms, &diag);
+            std::size_t verified = 0;
+            for (const auto& [j, k] : balls) {
+              const NodeId jn = frame.members[j];
+              const NodeId kn = frame.members[k];
+              if (witness_confirms(frames[jn], jn, static_cast<NodeId>(i),
+                                   kn) &&
+                  witness_confirms(frames[kn], kn, static_cast<NodeId>(i),
+                                   jn)) {
+                ++verified;
+                if (verified >= config_.min_empty_balls) break;
+              }
+            }
+            flags[i] = verified >= config_.min_empty_balls ? 1 : 0;
+          }
+          if (h_balls != nullptr) {
+            h_balls->observe(static_cast<double>(diag.balls_tested));
+          }
+          if (h_empty != nullptr) {
+            h_empty->observe(static_cast<double>(diag.empty_balls));
+          }
+        },
+        workers);
+  }
 
   std::vector<bool> boundary(n, false);
   for (std::size_t i = 0; i < n; ++i) boundary[i] = flags[i] != 0;
@@ -247,8 +294,14 @@ std::vector<bool> UnitBallFitting::detect(
 }
 
 std::vector<bool> UnitBallFitting::detect_with_true_coordinates() const {
+  BALLFIT_SPAN("true_coords");
   const std::size_t n = network_->num_nodes();
   const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
+  obs::Histogram* h_balls = nullptr;
+  if (obs::enabled()) {
+    h_balls = &obs::Registry::global().histogram(
+        "ubf.candidate_balls", {0, 50, 100, 200, 400, 800, 1600, 3200});
+  }
   std::vector<bool> boundary(n, false);
   std::vector<Vec3> coords;
   for (NodeId i = 0; i < n; ++i) {
@@ -273,8 +326,12 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates() const {
         }
       }
     }
-    boundary[i] = test_node(coords, 0, witness_count, nullptr,
+    UbfNodeDiagnostics diag;
+    boundary[i] = test_node(coords, 0, witness_count, &diag,
                             /*coord_uncertainty=*/0.0);
+    if (h_balls != nullptr) {
+      h_balls->observe(static_cast<double>(diag.balls_tested));
+    }
   }
   return boundary;
 }

@@ -142,11 +142,13 @@ class UnitBallFitting {
 
   /// Like test_node, but collects up to `max_balls` empty balls as
   /// (witness_j, witness_k) index pairs instead of stopping at the vote
-  /// threshold. Used by the cross-verification round.
+  /// threshold. Used by the cross-verification round. `diag`, when
+  /// non-null, receives the per-node work counts (balls tested, nodes
+  /// checked, empty balls found) for observability.
   std::vector<std::pair<std::size_t, std::size_t>> collect_empty_balls(
       const std::vector<geom::Vec3>& coords, std::size_t self_index,
       std::size_t witness_count, std::size_t max_balls,
-      double coord_uncertainty) const;
+      double coord_uncertainty, UbfNodeDiagnostics* diag = nullptr) const;
 
   /// Witness-side check: in `frame` (the witness's own frame), is at least
   /// one of the balls through nodes (a, b, c) empty? Returns true when the

@@ -1,0 +1,144 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace ballfit::obs {
+
+RunSnapshot snapshot() {
+  return {Registry::global().snapshot(), TraceAggregator::global().snapshot()};
+}
+
+void reset() {
+  Registry::global().reset();
+  TraceAggregator::global().reset();
+}
+
+void write_json(JsonWriter& w, const RunSnapshot& snap) {
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.metrics.counters) w.field(name, v);
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snap.metrics.gauges) w.field(name, v);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& h : snap.metrics.histograms) {
+    w.key(h.name).begin_object();
+    w.key("bounds").begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (const std::uint64_t c : h.buckets) w.value(c);
+    w.end_array();
+    w.field("count", h.count)
+        .field("sum", h.sum)
+        .field("min", h.min)
+        .field("max", h.max)
+        .field("mean",
+               h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count));
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("spans").begin_object();
+  for (const auto& [path, s] : snap.spans) {
+    w.key(path)
+        .begin_object()
+        .field("count", s.count)
+        .field("total_ms", s.total_ms())
+        .field("mean_ms", s.mean_ms())
+        .field("min_ms", static_cast<double>(s.min_ns) / 1e6)
+        .field("max_ms", static_cast<double>(s.max_ns) / 1e6)
+        .end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string to_json(const RunSnapshot& snap) {
+  JsonWriter w;
+  write_json(w, snap);
+  return w.str();
+}
+
+void append_jsonl(const std::string& path, const RunSnapshot& snap,
+                  const std::string& label) {
+  JsonWriter w;
+  w.begin_object();
+  if (!label.empty()) w.field("label", label);
+  w.key("obs");
+  write_json(w, snap);
+  w.end_object();
+
+  std::ofstream out(path, std::ios::app);
+  BALLFIT_REQUIRE(out.good(), "append_jsonl: cannot open " + path);
+  out << w.str() << '\n';
+}
+
+std::string render_table(const RunSnapshot& snap) {
+  std::string out;
+
+  if (!snap.spans.empty()) {
+    Table spans({"span", "count", "total ms", "mean ms", "min ms", "max ms"});
+    // std::map iterates paths lexicographically, which lists a parent
+    // directly before its children; indenting by depth renders the tree.
+    for (const auto& [path, s] : snap.spans) {
+      const std::size_t depth =
+          static_cast<std::size_t>(std::count(path.begin(), path.end(), '/'));
+      const std::size_t last_slash = path.rfind('/');
+      const std::string name =
+          last_slash == std::string::npos ? path : path.substr(last_slash + 1);
+      spans.add_row({std::string(2 * depth, ' ') + name,
+                     std::to_string(s.count), format_double(s.total_ms(), 2),
+                     format_double(s.mean_ms(), 3),
+                     format_double(static_cast<double>(s.min_ns) / 1e6, 3),
+                     format_double(static_cast<double>(s.max_ns) / 1e6, 3)});
+    }
+    out += "-- spans --\n" + spans.to_string();
+  }
+
+  if (!snap.metrics.counters.empty() || !snap.metrics.gauges.empty()) {
+    Table metrics({"metric", "value"});
+    for (const auto& [name, v] : snap.metrics.counters) {
+      metrics.add_row({name, std::to_string(v)});
+    }
+    for (const auto& [name, v] : snap.metrics.gauges) {
+      metrics.add_row({name, format_double(v, 3)});
+    }
+    if (!out.empty()) out += "\n";
+    out += "-- metrics --\n" + metrics.to_string();
+  }
+
+  if (!snap.metrics.histograms.empty()) {
+    Table histos({"histogram", "count", "mean", "min", "max"});
+    for (const auto& h : snap.metrics.histograms) {
+      histos.add_row(
+          {h.name, std::to_string(h.count),
+           format_double(h.count == 0 ? 0.0
+                                      : h.sum / static_cast<double>(h.count),
+                         2),
+           format_double(h.min, 2), format_double(h.max, 2)});
+    }
+    if (!out.empty()) out += "\n";
+    out += "-- histograms --\n" + histos.to_string();
+  }
+
+  return out;
+}
+
+void print_summary(std::FILE* out) {
+  if (out == nullptr) out = stderr;
+  const std::string table = render_table(snapshot());
+  if (!table.empty()) std::fputs((table + "\n").c_str(), out);
+}
+
+}  // namespace ballfit::obs

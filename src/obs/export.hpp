@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file export.hpp
+/// Serialization of a run's observability state: metrics registry +
+/// aggregated span tree -> JSON (machine-readable) or an aligned stderr
+/// table (human-readable). Benches snapshot once per run and embed the
+/// JSON in `bench_results.json`; long sweeps append JSONL lines so the
+/// trajectory can be diffed/trended between builds.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ballfit::obs {
+
+/// Point-in-time copy of everything the process has recorded.
+struct RunSnapshot {
+  Registry::Snapshot metrics;
+  std::map<std::string, SpanStats> spans;
+};
+
+/// Snapshot of / reset of the global registry and span aggregator.
+RunSnapshot snapshot();
+void reset();
+
+/// Writes the snapshot as one JSON object value:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{name:{bounds,buckets,count,sum,min,max,mean}},
+///    "spans":{path:{count,total_ms,mean_ms,min_ms,max_ms}}}
+/// The writer must be positioned where a value is expected.
+void write_json(JsonWriter& w, const RunSnapshot& snap);
+
+/// write_json as a standalone document.
+std::string to_json(const RunSnapshot& snap);
+
+/// Appends `to_json` (plus an optional "label" field) as a single line to
+/// `path` — the JSONL trajectory format.
+void append_jsonl(const std::string& path, const RunSnapshot& snap,
+                  const std::string& label = "");
+
+/// Aligned tables of spans (indented by nesting depth) and metrics.
+std::string render_table(const RunSnapshot& snap);
+
+/// render_table of the current global state, to `out` (default stderr).
+void print_summary(std::FILE* out = nullptr);
+
+}  // namespace ballfit::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal streaming JSON writer.
+///
+/// The observability exporters and the bench harnesses emit machine-readable
+/// results (JSONL span/metric dumps, `bench_results.json`); this writer is
+/// the single place that gets escaping, number formatting, and comma
+/// placement right. Write-only by design — nothing in the library parses
+/// JSON back.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ballfit::obs {
+
+/// Streaming JSON document builder. Calls must follow JSON grammar
+/// (object keys before values, matched begin/end); violations throw.
+/// Commas and separators are inserted automatically.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(unsigned u) {
+    return value(static_cast<std::uint64_t>(u));
+  }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The document so far. Valid JSON once every container is closed.
+  const std::string& str() const;
+
+ private:
+  void before_value();
+
+  enum class Frame : std::uint8_t { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool expecting_value_ = false;  // a key was just written
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(std::string_view s);
+
+}  // namespace ballfit::obs

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+///
+/// The paper's whole evaluation is measured quantities — hit/miss rates,
+/// IFF message overhead, per-stage cost — so the library exposes the same
+/// numbers as named metrics instead of ad-hoc printf. Design constraints:
+///
+///   - **Near-zero overhead when disabled.** Collection is off by default;
+///     every instrumentation site guards on `obs::enabled()` (one relaxed
+///     atomic load) before touching the registry. Benches and tests opt in
+///     with `obs::set_enabled(true)`.
+///   - **Thread-safe updates.** The per-node pipeline stages run under
+///     `parallel_for`; counters and histogram buckets are atomics, so
+///     concurrent `add`/`observe` calls never lose increments.
+///   - **Stable handles.** `Registry` never erases a metric, so a
+///     `Counter&` fetched once can be cached across a hot loop — lookups
+///     (mutex + map) stay out of per-node code.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ballfit::obs {
+
+/// Global collection switch (off by default). Relaxed-atomic read; flip it
+/// before the run you want to observe.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]
+/// (first matching bucket); one implicit overflow bucket catches the rest.
+/// Also tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Min/max of observed values; 0 when empty.
+  double min() const;
+  double max() const;
+
+  /// bounds().size() + 1 buckets; the last is the overflow bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Named metric store. `global()` is the process-wide instance every
+/// instrumentation site records into; local instances exist for tests.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Finds or creates. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted only when the histogram is first created.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Zeroes every metric but keeps registrations (cached handles survive).
+  void reset();
+
+  /// Point-in-time copy for export, sorted by name.
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::vector<HistogramSample> histograms;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Convenience recorders against the global registry. They check
+/// `enabled()` first, so a disabled process pays one atomic load — use the
+/// handle API (cache the reference) inside hot loops instead.
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (enabled()) Registry::global().counter(name).add(n);
+}
+inline void set_gauge(std::string_view name, double v) {
+  if (enabled()) Registry::global().gauge(name).set(v);
+}
+inline void observe(std::string_view name, std::vector<double> bounds,
+                    double v) {
+  if (enabled()) {
+    Registry::global().histogram(name, std::move(bounds)).observe(v);
+  }
+}
+
+}  // namespace ballfit::obs

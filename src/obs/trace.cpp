@@ -1,0 +1,73 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace ballfit::obs {
+
+namespace {
+thread_local std::string t_path;  // slash-joined stack of open span names
+}  // namespace
+
+TraceAggregator& TraceAggregator::global() {
+  static TraceAggregator* instance = new TraceAggregator();
+  return *instance;
+}
+
+void TraceAggregator::record(const std::string& path,
+                             std::uint64_t elapsed_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& s = spans_[path];
+  if (s.count == 0) {
+    s.min_ns = elapsed_ns;
+    s.max_ns = elapsed_ns;
+  } else {
+    s.min_ns = std::min(s.min_ns, elapsed_ns);
+    s.max_ns = std::max(s.max_ns, elapsed_ns);
+  }
+  ++s.count;
+  s.total_ns += elapsed_ns;
+}
+
+std::map<std::string, SpanStats> TraceAggregator::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void TraceAggregator::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string current_span_path() { return t_path; }
+
+ScopedSpan::ScopedSpan(std::string_view name) : active_(enabled()) {
+  if (!active_) return;
+  prev_len_ = t_path.size();
+  if (!t_path.empty()) t_path += '/';
+  t_path += name;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  TraceAggregator::global().record(
+      t_path,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+  t_path.resize(prev_len_);
+}
+
+SpanPathScope::SpanPathScope(const std::string& path) : active_(enabled()) {
+  if (!active_) return;
+  prev_ = std::move(t_path);
+  t_path = path;
+}
+
+SpanPathScope::~SpanPathScope() {
+  if (!active_) return;
+  t_path = std::move(prev_);
+}
+
+}  // namespace ballfit::obs

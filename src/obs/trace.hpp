@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file trace.hpp
+/// Scoped wall-clock trace spans with hierarchical aggregation.
+///
+/// `BALLFIT_SPAN("ubf")` opens a span for the enclosing scope; nesting is
+/// tracked per thread, so a span opened inside another reports under the
+/// slash-joined path ("pipeline/ubf/mds_frames"). Spans are *aggregated*,
+/// not logged: each distinct path keeps {count, total, min, max} so a
+/// per-node span executed 4,000 times under `parallel_for` costs one table
+/// entry, not 4,000 events.
+///
+/// Worker threads start with an empty path. To keep per-node spans nested
+/// under the stage that spawned them, capture `current_span_path()` on the
+/// calling thread and install it in the worker with `SpanPathScope`:
+///
+///   BALLFIT_SPAN("mds_frames");
+///   const std::string parent = obs::current_span_path();
+///   parallel_for(n, [&](std::size_t i) {
+///     obs::SpanPathScope adopt(parent);
+///     BALLFIT_SPAN("frame");           // -> ".../mds_frames/frame"
+///     ...
+///   }, workers);
+///
+/// Recording is thread-safe (the aggregator map is mutex-guarded) and all
+/// of it is skipped when `obs::enabled()` is false — a disabled span is a
+/// single relaxed atomic load.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace ballfit::obs {
+
+/// Aggregated timing for one span path.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  double mean_ms() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            (1e6 * static_cast<double>(count));
+  }
+};
+
+/// Process-wide span accumulator, keyed by slash-joined path.
+class TraceAggregator {
+ public:
+  static TraceAggregator& global();
+
+  void record(const std::string& path, std::uint64_t elapsed_ns);
+  std::map<std::string, SpanStats> snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SpanStats> spans_;
+};
+
+/// The calling thread's active span path ("" outside any span).
+std::string current_span_path();
+
+/// RAII span: pushes `name` onto the thread's path on construction, records
+/// the elapsed wall-clock into the global aggregator on destruction.
+/// No-op (and no allocation) when collection is disabled at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  std::size_t prev_len_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII adoption of a parent path on a worker thread (see file comment).
+/// Replaces the thread's current path; restores the previous one on exit.
+class SpanPathScope {
+ public:
+  explicit SpanPathScope(const std::string& path);
+  ~SpanPathScope();
+
+  SpanPathScope(const SpanPathScope&) = delete;
+  SpanPathScope& operator=(const SpanPathScope&) = delete;
+
+ private:
+  bool active_;
+  std::string prev_;
+};
+
+#define BALLFIT_OBS_CONCAT2(a, b) a##b
+#define BALLFIT_OBS_CONCAT(a, b) BALLFIT_OBS_CONCAT2(a, b)
+
+/// Times the enclosing scope under `name` (nested within any open span).
+#define BALLFIT_SPAN(name) \
+  ::ballfit::obs::ScopedSpan BALLFIT_OBS_CONCAT(ballfit_span_, __LINE__)(name)
+
+}  // namespace ballfit::obs

@@ -16,12 +16,14 @@
 /// counts map directly to its TTL arguments.
 
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "net/graph.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace ballfit::sim {
 
@@ -38,9 +40,37 @@ class RoundEngine {
   /// subgraph: inactive nodes neither send, receive, nor forward. This is
   /// how "forwarded by other boundary nodes but not non-boundary nodes"
   /// (Sec. II-B) is expressed.
+  ///
+  /// `protocol`, when non-null, names the protocol for observability: on
+  /// destruction the engine's cumulative cost flows into the global metrics
+  /// registry as `sim.<protocol>.{messages,rounds,active_nodes,runs}`
+  /// counters (no-op while collection is disabled).
   explicit RoundEngine(const net::Network& net,
-                       const net::NodeMask* active = nullptr)
-      : net_(&net), active_(active), pending_(net.num_nodes()) {}
+                       const net::NodeMask* active = nullptr,
+                       const char* protocol = nullptr)
+      : net_(&net), active_(active), protocol_(protocol),
+        pending_(net.num_nodes()) {}
+
+  ~RoundEngine() {
+    if (protocol_ == nullptr || !obs::enabled()) return;
+    const std::string prefix = std::string("sim.") + protocol_;
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter(prefix + ".messages").add(stats_.messages);
+    reg.counter(prefix + ".rounds").add(stats_.rounds);
+    reg.counter(prefix + ".active_nodes").add(num_active());
+    reg.counter(prefix + ".runs").add(1);
+  }
+
+  RoundEngine(const RoundEngine&) = delete;
+  RoundEngine& operator=(const RoundEngine&) = delete;
+
+  /// Active-node count (all nodes when no mask was given).
+  std::size_t num_active() const {
+    if (active_ == nullptr) return net_->num_nodes();
+    std::size_t n = 0;
+    for (net::NodeId v = 0; v < net_->num_nodes(); ++v) n += (*active_)[v];
+    return n;
+  }
 
   bool is_active(net::NodeId v) const {
     return active_ == nullptr || (*active_)[v];
@@ -100,6 +130,7 @@ class RoundEngine {
  private:
   const net::Network* net_;
   const net::NodeMask* active_;
+  const char* protocol_;
   std::vector<std::vector<std::pair<net::NodeId, M>>> pending_;
   RunStats stats_;
 };

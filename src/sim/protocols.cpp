@@ -25,7 +25,7 @@ std::vector<std::uint32_t> ttl_flood_count(const net::Network& net,
   BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
 
   std::vector<std::unordered_set<NodeId>> heard(n);
-  RoundEngine<FloodMsg> engine(net, &active);
+  RoundEngine<FloodMsg> engine(net, &active, "ttl_flood");
 
   for (NodeId v = 0; v < n; ++v) {
     if (!active[v]) continue;
@@ -74,7 +74,7 @@ std::vector<NodeId> leader_flood(const net::Network& net,
   BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
 
   std::vector<NodeId> leader(n, net::kInvalidNode);
-  RoundEngine<NodeId> engine(net, &active);
+  RoundEngine<NodeId> engine(net, &active, "leader_flood");
   for (NodeId v = 0; v < n; ++v) {
     if (!active[v]) continue;
     leader[v] = v;
@@ -144,7 +144,7 @@ std::vector<NodeId> khop_landmark_election(const net::Network& net,
     // --- Bid phase: undecided nodes flood their id within k hops.
     std::vector<NodeId> min_bid(n, net::kInvalidNode);
     std::vector<std::unordered_map<NodeId, std::uint32_t>> heard(n);
-    RoundEngine<BidMsg> engine(net, &active);
+    RoundEngine<BidMsg> engine(net, &active, "landmark_election");
     for (NodeId v = 0; v < n; ++v) {
       if (status[v] != Status::kUndecided) continue;
       min_bid[v] = v;
@@ -181,7 +181,7 @@ std::vector<NodeId> khop_landmark_election(const net::Network& net,
 
     // --- Cover phase: winners suppress their k-hop neighborhoods.
     std::vector<std::unordered_map<NodeId, std::uint32_t>> cover_heard(n);
-    RoundEngine<BidMsg> cover(net, &active);
+    RoundEngine<BidMsg> cover(net, &active, "landmark_election");
     for (NodeId w : winners) {
       cover.broadcast(w, {BidKind::kCover, w, k - 1});
     }

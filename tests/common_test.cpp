@@ -1,13 +1,16 @@
 // Tests for src/common: RNG determinism and statistics, assertions,
-// string/table formatting, parallel_for.
+// string/table formatting, logging, parallel_for.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "common/assert.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -178,6 +181,50 @@ TEST(Parallel, MoreThreadsThanWork) {
   std::vector<std::atomic<int>> hits(3);
   parallel_for(3, [&](std::size_t i) { hits[i]++; }, 16);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, WorkerExceptionRethrownOnJoiningThread) {
+  EXPECT_THROW(
+      parallel_for(
+          1000,
+          [](std::size_t i) {
+            if (i == 617) throw std::runtime_error("worker failure");
+          },
+          8),
+      std::runtime_error);
+  try {
+    parallel_for(
+        100, [](std::size_t) { throw std::runtime_error("always"); }, 4);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "always");
+  }
+}
+
+TEST(Parallel, SingleThreadExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          10, [](std::size_t) { throw std::runtime_error("st"); }, 1),
+      std::runtime_error);
+}
+
+TEST(Log, ConcurrentWritesAndLevelChangesAreSafe) {
+  // Exercises the write mutex and the atomic level under contention; the
+  // assertion is "no data race / no crash" (checked by the TSan CI job).
+  const LogLevel prev = Log::level();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < 20; ++i) {
+        Log::set_level(i % 2 ? LogLevel::kDebug : LogLevel::kWarn);
+        Log::write(LogLevel::kDebug,
+                   "concurrent log test t" + std::to_string(t));
+        (void)Log::level();
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  Log::set_level(prev);
 }
 
 }  // namespace
