@@ -133,6 +133,9 @@ class BenchReport {
               .begin_object()
               .field("messages", static_cast<std::uint64_t>(rs.messages))
               .field("rounds", static_cast<std::uint64_t>(rs.rounds))
+              .field("dropped", static_cast<std::uint64_t>(rs.dropped))
+              .field("duplicated",
+                     static_cast<std::uint64_t>(rs.duplicated))
               .end_object();
         }
         w.end_object();

@@ -11,13 +11,14 @@ namespace ballfit::core {
 BoundaryGroups group_boundaries(const net::Network& network,
                                 const std::vector<bool>& boundary,
                                 bool use_message_passing,
-                                sim::RunStats* stats) {
+                                sim::RunStats* stats,
+                                const sim::ProtocolOptions& proto) {
   BALLFIT_REQUIRE(boundary.size() == network.num_nodes(),
                   "boundary mask size mismatch");
 
   BoundaryGroups out;
   out.leader = use_message_passing
-                   ? sim::leader_flood(network, boundary, stats)
+                   ? sim::leader_flood(network, boundary, stats, proto)
                    : sim::leader_flood_oracle(network, boundary);
 
   std::map<net::NodeId, std::vector<net::NodeId>> by_leader;

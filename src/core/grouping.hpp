@@ -12,6 +12,7 @@
 
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/protocols.hpp"
 
 namespace ballfit::core {
 
@@ -26,10 +27,14 @@ struct BoundaryGroups {
 };
 
 /// Groups the boundary nodes. With `use_message_passing` the grouping runs
-/// as the leader-flood protocol; otherwise as a component oracle.
+/// as the leader-flood protocol; otherwise as a component oracle. `proto`
+/// selects fault injection / retransmission for the flood (message-passing
+/// mode only); under loss a physically-connected boundary can split into
+/// several reported groups — a graceful over-segmentation, never a merge.
 BoundaryGroups group_boundaries(const net::Network& network,
                                 const std::vector<bool>& boundary,
                                 bool use_message_passing = true,
-                                sim::RunStats* stats = nullptr);
+                                sim::RunStats* stats = nullptr,
+                                const sim::ProtocolOptions& proto = {});
 
 }  // namespace ballfit::core

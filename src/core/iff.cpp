@@ -7,13 +7,15 @@ namespace ballfit::core {
 
 std::vector<bool> iff_filter(const net::Network& network,
                              const std::vector<bool>& candidates,
-                             const IffConfig& config, sim::RunStats* stats) {
+                             const IffConfig& config, sim::RunStats* stats,
+                             const sim::ProtocolOptions& proto) {
   BALLFIT_REQUIRE(candidates.size() == network.num_nodes(),
                   "candidate mask size mismatch");
 
   const std::vector<std::uint32_t> counts =
       config.use_message_passing
-          ? sim::ttl_flood_count(network, candidates, config.ttl, stats)
+          ? sim::ttl_flood_count(network, candidates, config.ttl, stats,
+                                 proto)
           : sim::ttl_flood_count_oracle(network, candidates, config.ttl);
 
   std::vector<bool> boundary(network.num_nodes(), false);

@@ -17,6 +17,7 @@
 
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/protocols.hpp"
 
 namespace ballfit::core {
 
@@ -31,10 +32,14 @@ struct IffConfig {
 };
 
 /// Applies IFF to the UBF candidate set; returns the surviving boundary
-/// flags. `stats`, when non-null, receives the protocol cost.
+/// flags. `stats`, when non-null, receives the protocol cost. `proto`
+/// selects fault injection / retransmission for the flood (message-passing
+/// mode only — the oracle models a reliable network by definition); lost
+/// packets depress counts, so loss demotes borderline fragments first.
 std::vector<bool> iff_filter(const net::Network& network,
                              const std::vector<bool>& candidates,
                              const IffConfig& config = {},
-                             sim::RunStats* stats = nullptr);
+                             sim::RunStats* stats = nullptr,
+                             const sim::ProtocolOptions& proto = {});
 
 }  // namespace ballfit::core

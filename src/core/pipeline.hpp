@@ -7,6 +7,14 @@
 /// This is the primary public entry point of the library. Everything it
 /// consumes is one-hop-local per node; `PipelineResult` carries the outputs
 /// of every stage so benches and tests can inspect intermediates.
+///
+/// The pipeline can run under fault injection (`PipelineConfig::faults`):
+/// crashed nodes drop out of localization and detection entirely, the IFF
+/// and grouping floods lose/duplicate messages per the model, and nodes
+/// whose local frame cannot be built (too few surviving neighbors) fall
+/// back to a conservative non-boundary vote instead of the optimistic
+/// degenerate-is-boundary default. The run degrades — precision/recall
+/// shrink with loss and crash rates — but never throws or hangs.
 
 #include <cstdint>
 #include <optional>
@@ -19,6 +27,7 @@
 #include "net/measurement.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 
 namespace ballfit::core {
 
@@ -37,6 +46,15 @@ struct PipelineConfig {
   bool group = true;
   /// Worker threads for the per-node stages (0 = hardware concurrency).
   unsigned threads = 0;
+  /// Fault injection for the communication stages (nullopt = reliable
+  /// network, the paper's assumption). One `sim::FaultModel` is built from
+  /// this config and shared by IFF and grouping, so crash rounds are
+  /// global across both floods. With an all-zero config installed the
+  /// outputs are bit-identical to the reliable run.
+  std::optional<sim::FaultConfig> faults;
+  /// Retransmissions per newly learned fact in the floods (>= 1); raise to
+  /// 2–3 to keep floods converging at 10–20% loss.
+  std::uint32_t flood_repeat = 1;
 };
 
 struct PipelineResult {
@@ -49,6 +67,15 @@ struct PipelineResult {
   sim::RunStats iff_cost;
   /// Cost of the grouping protocol.
   sim::RunStats grouping_cost;
+
+  /// Nodes whose local frame could not be built (degenerate/starved
+  /// neighborhood). Under faults these voted non-boundary conservatively;
+  /// otherwise they voted `UbfConfig::degenerate_is_boundary`.
+  std::size_t frame_fallbacks = 0;
+  /// Nodes down at the end of the run (0 without fault injection).
+  std::size_t crashed_nodes = 0;
+  /// Cumulative fault effects across every stage (zeros without faults).
+  sim::FaultStats fault_stats;
 
   /// Convenience: number of nodes flagged after each phase.
   std::size_t num_candidates() const;

@@ -1,6 +1,7 @@
 #include "core/ubf.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
@@ -189,7 +190,8 @@ bool UnitBallFitting::witness_confirms(const localization::LocalFrame& frame,
 }
 
 std::vector<bool> UnitBallFitting::detect(
-    const localization::Localizer& localizer, unsigned threads) const {
+    const localization::Localizer& localizer, unsigned threads,
+    std::size_t* frame_fallbacks) const {
   BALLFIT_REQUIRE(&localizer.network() == network_,
                   "localizer must wrap the same network");
   const std::size_t n = network_->num_nodes();
@@ -230,6 +232,7 @@ std::vector<bool> UnitBallFitting::detect(
 
   // Round 2: per-node test + witness cross-verification.
   std::vector<char> flags(n, 0);
+  std::atomic<std::size_t> fallbacks{0};
   {
     BALLFIT_SPAN("ball_test");
     const std::string parent = obs::current_span_path();
@@ -241,6 +244,7 @@ std::vector<bool> UnitBallFitting::detect(
           const localization::LocalFrame& frame = frames[i];
           if (!frame.ok) {
             flags[i] = config_.degenerate_is_boundary ? 1 : 0;
+            fallbacks.fetch_add(1, std::memory_order_relaxed);
             return;
           }
           BALLFIT_ASSERT(frame.members[0] == static_cast<NodeId>(i));
@@ -288,12 +292,16 @@ std::vector<bool> UnitBallFitting::detect(
         workers);
   }
 
+  if (frame_fallbacks != nullptr) {
+    *frame_fallbacks = fallbacks.load(std::memory_order_relaxed);
+  }
   std::vector<bool> boundary(n, false);
   for (std::size_t i = 0; i < n; ++i) boundary[i] = flags[i] != 0;
   return boundary;
 }
 
-std::vector<bool> UnitBallFitting::detect_with_true_coordinates() const {
+std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
+    std::size_t* frame_fallbacks) const {
   BALLFIT_SPAN("true_coords");
   const std::size_t n = network_->num_nodes();
   const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
@@ -303,6 +311,7 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates() const {
         "ubf.candidate_balls", {0, 50, 100, 200, 400, 800, 1600, 3200});
   }
   std::vector<bool> boundary(n, false);
+  std::size_t fallbacks = 0;
   std::vector<Vec3> coords;
   for (NodeId i = 0; i < n; ++i) {
     coords.clear();
@@ -312,6 +321,7 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates() const {
     const std::size_t witness_count = coords.size();
     if (witness_count < 4) {
       boundary[i] = config_.degenerate_is_boundary;
+      ++fallbacks;
       continue;
     }
     if (two_hop) {
@@ -333,6 +343,7 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates() const {
       h_balls->observe(static_cast<double>(diag.balls_tested));
     }
   }
+  if (frame_fallbacks != nullptr) *frame_fallbacks = fallbacks;
   return boundary;
 }
 

@@ -114,13 +114,19 @@ class UnitBallFitting {
   /// the scope is kOneHop), runs the test in its own local frame, and —
   /// with cross_verify — has its witnesses confirm each empty ball.
   /// `threads` parallelizes the per-node work (0 = hardware concurrency).
+  /// `frame_fallbacks`, when non-null, receives the number of nodes whose
+  /// neighborhood was too small/degenerate to embed — the nodes that voted
+  /// `degenerate_is_boundary` instead of running the test.
   std::vector<bool> detect(const localization::Localizer& localizer,
-                           unsigned threads = 0) const;
+                           unsigned threads = 0,
+                           std::size_t* frame_fallbacks = nullptr) const;
 
   /// Oracle detection using true coordinates (the 0%-error reference; UBF
   /// is invariant to the rigid-motion gauge, so this equals `detect` with a
-  /// noiseless measurement model).
-  std::vector<bool> detect_with_true_coordinates() const;
+  /// noiseless measurement model). `frame_fallbacks` counts nodes with too
+  /// few neighbors to test, as in `detect`.
+  std::vector<bool> detect_with_true_coordinates(
+      std::size_t* frame_fallbacks = nullptr) const;
 
   /// The per-node kernel: runs the unit-ball test on an explicit point set.
   /// `coords[self_index]` is the node under test; entries with index

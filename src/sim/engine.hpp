@@ -14,6 +14,13 @@
 /// The engine is deliberately synchronous (LOCAL model): the paper assumes
 /// reliable local broadcast and gives no asynchrony analysis, and round
 /// counts map directly to its TTL arguments.
+///
+/// Reliability is an *option*, not an assumption: installing a `FaultModel`
+/// (see sim/faults.hpp) turns the engine into a lossy network. The model is
+/// consulted at the start of every round (crash clock) and per delivered
+/// message (loss and duplication); sends to crashed, inactive, or
+/// out-of-range targets become counted drops instead of assertion failures.
+/// Without a model the original hard contracts hold unchanged.
 
 #include <cstddef>
 #include <string>
@@ -24,13 +31,26 @@
 #include "net/graph.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "sim/faults.hpp"
 
 namespace ballfit::sim {
 
 /// Cumulative cost counters for a protocol run.
 struct RunStats {
   std::size_t rounds = 0;
-  std::size_t messages = 0;
+  std::size_t messages = 0;    ///< radio transmissions
+  std::size_t dropped = 0;     ///< fault-injected losses (deliveries lost)
+  std::size_t duplicated = 0;  ///< fault-injected duplicate deliveries
+
+  /// Pools another run's counters (protocols composed of several engine
+  /// runs — e.g. landmark election — accumulate through this).
+  RunStats& operator+=(const RunStats& o) {
+    rounds += o.rounds;
+    messages += o.messages;
+    dropped += o.dropped;
+    duplicated += o.duplicated;
+    return *this;
+  }
 };
 
 template <typename M>
@@ -44,12 +64,21 @@ class RoundEngine {
   /// `protocol`, when non-null, names the protocol for observability: on
   /// destruction the engine's cumulative cost flows into the global metrics
   /// registry as `sim.<protocol>.{messages,rounds,active_nodes,runs}`
-  /// counters (no-op while collection is disabled).
+  /// counters — plus `{dropped,duplicated,crashed_nodes}` when a fault
+  /// model is installed (no-op while collection is disabled).
+  ///
+  /// `faults`, when non-null, injects message loss, duplication, and node
+  /// crashes (see sim/faults.hpp). The model outlives the engine and may be
+  /// shared across engines; its round clock keeps advancing.
   explicit RoundEngine(const net::Network& net,
                        const net::NodeMask* active = nullptr,
-                       const char* protocol = nullptr)
-      : net_(&net), active_(active), protocol_(protocol),
-        pending_(net.num_nodes()) {}
+                       const char* protocol = nullptr,
+                       FaultModel* faults = nullptr)
+      : net_(&net), active_(active), protocol_(protocol), faults_(faults),
+        pending_(net.num_nodes()) {
+    BALLFIT_REQUIRE(faults == nullptr || faults->num_nodes() == net.num_nodes(),
+                    "RoundEngine: fault model sized for a different network");
+  }
 
   ~RoundEngine() {
     if (protocol_ == nullptr || !obs::enabled()) return;
@@ -59,6 +88,11 @@ class RoundEngine {
     reg.counter(prefix + ".rounds").add(stats_.rounds);
     reg.counter(prefix + ".active_nodes").add(num_active());
     reg.counter(prefix + ".runs").add(1);
+    if (faults_ != nullptr) {
+      reg.counter(prefix + ".dropped").add(stats_.dropped);
+      reg.counter(prefix + ".duplicated").add(stats_.duplicated);
+      reg.counter(prefix + ".crashed_nodes").add(faults_->num_down());
+    }
   }
 
   RoundEngine(const RoundEngine&) = delete;
@@ -76,23 +110,62 @@ class RoundEngine {
     return active_ == nullptr || (*active_)[v];
   }
 
+  /// True when `v` can currently participate: active and not crashed.
+  bool is_alive(net::NodeId v) const {
+    return is_active(v) && (faults_ == nullptr || !faults_->is_down(v));
+  }
+
   /// Queues a unicast for delivery next round. `to` must be a one-hop
-  /// neighbor of `from`; both endpoints must be active.
+  /// neighbor of `from` and both endpoints must be active — violations
+  /// throw without a fault model, and become counted drops with one (a
+  /// dead or out-of-range receiver is a radio reality, not a bug).
   void send(net::NodeId from, net::NodeId to, M msg) {
-    BALLFIT_REQUIRE(net_->are_neighbors(from, to),
-                    "RoundEngine: send target is not a one-hop neighbor");
-    BALLFIT_ASSERT_MSG(is_active(from) && is_active(to),
-                       "send between inactive nodes");
+    if (faults_ != nullptr) {
+      if (faults_->is_down(from)) {  // dead sender: nothing transmits
+        drop(1);
+        return;
+      }
+      if (!net_->are_neighbors(from, to) || !is_active(from) ||
+          !is_active(to) || faults_->is_down(to)) {
+        ++stats_.messages;  // the radio transmits into the void
+        drop(1);
+        return;
+      }
+    } else {
+      BALLFIT_REQUIRE(net_->are_neighbors(from, to),
+                      "RoundEngine: send target is not a one-hop neighbor");
+      BALLFIT_ASSERT_MSG(is_active(from) && is_active(to),
+                         "send between inactive nodes");
+    }
     pending_[to].emplace_back(from, std::move(msg));
     ++stats_.messages;
   }
 
   /// Queues a local broadcast to every active neighbor (counted as one
-  /// radio transmission, as broadcast is in wireless media).
-  void broadcast(net::NodeId from, const M& msg) {
-    BALLFIT_ASSERT_MSG(is_active(from), "broadcast from inactive node");
-    for (net::NodeId v : net_->neighbors(from)) {
-      if (is_active(v)) pending_[v].emplace_back(from, msg);
+  /// radio transmission, as broadcast is in wireless media). Takes the
+  /// message by value: all but the last recipient copy it, the last one
+  /// receives it by move.
+  void broadcast(net::NodeId from, M msg) {
+    if (faults_ != nullptr) {
+      if (faults_->is_down(from) || !is_active(from)) {
+        drop(1);  // dead or deactivated sender: the broadcast never airs
+        return;
+      }
+    } else {
+      BALLFIT_ASSERT_MSG(is_active(from), "broadcast from inactive node");
+    }
+    const auto neighbors = net_->neighbors(from);
+    net::NodeId last = net::kInvalidNode;
+    for (net::NodeId v : neighbors) {
+      if (is_active(v)) last = v;
+    }
+    for (net::NodeId v : neighbors) {
+      if (!is_active(v)) continue;
+      if (v == last) {
+        pending_[v].emplace_back(from, std::move(msg));
+      } else {
+        pending_[v].emplace_back(from, msg);
+      }
     }
     ++stats_.messages;
   }
@@ -100,18 +173,40 @@ class RoundEngine {
   /// Runs synchronous rounds until quiescence (no messages in flight) or
   /// `max_rounds`. `handler(self, from, msg)` is invoked once per delivered
   /// message and may call send()/broadcast() — those land next round.
-  /// Returns the collected statistics.
+  /// With a fault model, each round first advances the crash clock, then
+  /// each queued message is dropped wholesale (crashed receiver), lost to
+  /// the loss roll, or delivered — possibly twice (duplication re-invokes
+  /// the handler with the same message object; handlers must be
+  /// idempotent). Returns the collected statistics.
   template <typename Handler>
   RunStats run(Handler&& handler, std::size_t max_rounds) {
     for (std::size_t round = 0; round < max_rounds; ++round) {
       if (!messages_in_flight()) break;
       ++stats_.rounds;
+      if (faults_ != nullptr) faults_->advance_round();
       std::vector<std::vector<std::pair<net::NodeId, M>>> delivering(
           net_->num_nodes());
       delivering.swap(pending_);
       for (net::NodeId v = 0; v < net_->num_nodes(); ++v) {
+        if (delivering[v].empty()) continue;
+        if (faults_ != nullptr && faults_->is_down(v)) {
+          drop(delivering[v].size());  // receiver died with mail queued
+          continue;
+        }
         for (auto& [from, msg] : delivering[v]) {
+          if (faults_ == nullptr) {
+            handler(v, from, msg);
+            continue;
+          }
+          if (!faults_->deliver(from, v)) {
+            ++stats_.dropped;  // model counted its side already
+            continue;
+          }
           handler(v, from, msg);
+          if (faults_->duplicate()) {
+            ++stats_.duplicated;
+            handler(v, from, msg);
+          }
         }
       }
     }
@@ -126,11 +221,19 @@ class RoundEngine {
 
   const RunStats& stats() const { return stats_; }
   const net::Network& network() const { return *net_; }
+  const FaultModel* faults() const { return faults_; }
 
  private:
+  /// Counts a structural drop in both the engine's and the model's books.
+  void drop(std::size_t n) {
+    stats_.dropped += n;
+    faults_->note_dropped(n);
+  }
+
   const net::Network* net_;
   const net::NodeMask* active_;
   const char* protocol_;
+  FaultModel* faults_;
   std::vector<std::vector<std::pair<net::NodeId, M>>> pending_;
   RunStats stats_;
 };

@@ -1,0 +1,97 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ballfit::sim {
+
+namespace {
+
+/// Validates a probability-typed config field.
+void require_probability(double p, const char* what) {
+  BALLFIT_REQUIRE(p >= 0.0 && p <= 1.0, std::string("FaultConfig: ") + what +
+                                            " must be a probability in [0,1]");
+}
+
+}  // namespace
+
+FaultModel::FaultModel(FaultConfig config, std::size_t num_nodes)
+    : config_(std::move(config)), rng_(config_.seed), down_(num_nodes, 0) {
+  require_probability(config_.drop_probability, "drop_probability");
+  require_probability(config_.link_loss_max, "link_loss_max");
+  require_probability(config_.duplicate_probability, "duplicate_probability");
+  require_probability(config_.crash_fraction, "crash_fraction");
+  require_probability(config_.crash_probability, "crash_probability");
+  for (const auto& [v, r] : config_.crash_at_round) {
+    BALLFIT_REQUIRE(v < num_nodes, "FaultConfig: crash_at_round node id out "
+                                   "of range");
+  }
+
+  // Initial casualties: the crash_fraction draw plus round-0 schedule
+  // entries. Node order is the draw order, so the down set is a pure
+  // function of (seed, crash_fraction, num_nodes).
+  if (config_.crash_fraction > 0.0) {
+    for (net::NodeId v = 0; v < num_nodes; ++v) {
+      if (rng_.bernoulli(config_.crash_fraction)) down_[v] = 1;
+    }
+  }
+  for (const auto& [v, r] : config_.crash_at_round) {
+    if (r == 0) down_[v] = 1;
+  }
+  stats_.crashed = static_cast<std::size_t>(
+      std::count(down_.begin(), down_.end(), char(1)));
+}
+
+void FaultModel::advance_round() {
+  ++round_;
+  for (const auto& [v, r] : config_.crash_at_round) {
+    if (r == round_ && down_[v] == 0) {
+      down_[v] = 1;
+      ++stats_.crashed;
+    }
+  }
+  if (config_.crash_probability > 0.0) {
+    for (net::NodeId v = 0; v < down_.size(); ++v) {
+      if (down_[v] == 0 && rng_.bernoulli(config_.crash_probability)) {
+        down_[v] = 1;
+        ++stats_.crashed;
+      }
+    }
+  }
+}
+
+double FaultModel::link_loss(net::NodeId from, net::NodeId to) const {
+  if (config_.link_loss_max <= 0.0) return 0.0;
+  // Stateless per-directed-link draw: hash (seed, from, to) through
+  // splitmix64. The asymmetry is deliberate — (from,to) and (to,from) mix
+  // differently.
+  std::uint64_t s = config_.seed ^ (0x9e3779b97f4a7c15ULL +
+                                    (std::uint64_t(from) << 32 | to));
+  const double u = double(splitmix64(s) >> 11) * 0x1.0p-53;
+  return u * config_.link_loss_max;
+}
+
+bool FaultModel::deliver(net::NodeId from, net::NodeId to) {
+  // Independent loss processes compose: survive both the ambient and the
+  // link-specific roll.
+  double p = config_.drop_probability;
+  const double l = link_loss(from, to);
+  if (l > 0.0) p = 1.0 - (1.0 - p) * (1.0 - l);
+  if (p > 0.0 && rng_.uniform() < p) {
+    ++stats_.dropped;
+    return false;
+  }
+  return true;
+}
+
+bool FaultModel::duplicate() {
+  if (config_.duplicate_probability <= 0.0) return false;
+  if (rng_.bernoulli(config_.duplicate_probability)) {
+    ++stats_.duplicated;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ballfit::sim

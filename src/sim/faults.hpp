@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file faults.hpp
+/// Deterministic fault injection for the round engine.
+///
+/// The paper's protocols assume the LOCAL model with reliable local
+/// broadcast; real 3D sensor deployments lose packets and nodes. A
+/// `FaultModel` makes that gap testable: it sits between `RoundEngine`'s
+/// queues and the per-node handlers and decides, message by message and
+/// round by round, what actually survives. Four mechanisms, all seeded
+/// through `common/rng.hpp` so a run is reproducible from its config alone:
+///
+///   - **Per-message loss**: every delivery independently fails with
+///     `drop_probability`.
+///   - **Per-link asymmetric loss**: each *directed* link (u→v) carries an
+///     additional loss probability drawn once (statelessly, by hashing the
+///     link under the seed) from [0, link_loss_max]. u→v and v→u draw
+///     independently, so links can be asymmetric — the common radio
+///     pathology.
+///   - **Duplication**: a delivered message is re-delivered with
+///     `duplicate_probability` (handlers must be idempotent).
+///   - **Crashes**: a `crash_fraction` of nodes is down from the start,
+///     `crash_at_round` schedules individual deaths at a global round
+///     index, and `crash_probability` kills each live node per round.
+///     Crashes are permanent (no recovery); a crashed node neither sends,
+///     receives, nor forwards, and every message addressed to it becomes a
+///     counted drop.
+///
+/// One model instance is shared across every engine of a protocol run (the
+/// pipeline threads a single model through IFF and grouping), so the crash
+/// clock and the loss/duplication streams advance monotonically across
+/// stages. All methods are single-threaded, like the engine itself.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::sim {
+
+struct FaultConfig {
+  /// Independent loss probability applied to every delivery.
+  double drop_probability = 0.0;
+  /// Upper bound of the per-directed-link extra loss probability; each
+  /// link's value is fixed (hashed from the seed) for the whole run.
+  double link_loss_max = 0.0;
+  /// Probability that a delivered message is delivered a second time.
+  double duplicate_probability = 0.0;
+  /// Fraction of nodes crashed before round 0 (drawn per node).
+  double crash_fraction = 0.0;
+  /// Per-node, per-round crash probability for nodes still alive.
+  double crash_probability = 0.0;
+  /// Scheduled crashes: (node, global round) — the node is down from the
+  /// start of that round on. Round indices are global across every engine
+  /// sharing the model (the model's round clock never resets).
+  std::vector<std::pair<net::NodeId, std::size_t>> crash_at_round;
+  /// Seed for every stochastic decision above.
+  std::uint64_t seed = 1;
+
+  /// True when any mechanism can actually fire. A default-constructed
+  /// config is a no-op model (useful to prove the hook itself is neutral).
+  bool any() const {
+    return drop_probability > 0.0 || link_loss_max > 0.0 ||
+           duplicate_probability > 0.0 || crash_fraction > 0.0 ||
+           crash_probability > 0.0 || !crash_at_round.empty();
+  }
+};
+
+/// Cumulative fault effects over the model's lifetime (all engines that
+/// shared it).
+struct FaultStats {
+  std::size_t dropped = 0;     ///< deliveries that never happened
+  std::size_t duplicated = 0;  ///< extra deliveries injected
+  std::size_t crashed = 0;     ///< nodes currently down
+};
+
+class FaultModel {
+ public:
+  FaultModel(FaultConfig config, std::size_t num_nodes);
+
+  const FaultConfig& config() const { return config_; }
+  std::size_t num_nodes() const { return down_.size(); }
+
+  /// Advances the global round clock: applies scheduled crashes for the new
+  /// round, then rolls per-round crash failures. Called by the engine at
+  /// the start of every round it executes.
+  void advance_round();
+
+  /// Rounds advanced so far (global across engines sharing the model).
+  std::size_t round() const { return round_; }
+
+  bool is_down(net::NodeId v) const { return down_[v] != 0; }
+
+  /// Number of nodes currently down.
+  std::size_t num_down() const { return stats_.crashed; }
+
+  /// Rolls the loss process for one delivery over the directed link
+  /// from→to. Returns false (and counts a drop) when the message is lost.
+  bool deliver(net::NodeId from, net::NodeId to);
+
+  /// Rolls the duplication process for a successful delivery. Returns true
+  /// (and counts) when the message must be delivered a second time.
+  bool duplicate();
+
+  /// Records `n` deliveries suppressed for structural reasons (crashed or
+  /// unreachable receiver, dead sender) rather than by the loss roll.
+  void note_dropped(std::size_t n = 1) { stats_.dropped += n; }
+
+  /// The fixed extra loss probability of the directed link from→to.
+  double link_loss(net::NodeId from, net::NodeId to) const;
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  std::vector<char> down_;  // vector<bool> avoided: hot per-message reads
+  FaultStats stats_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace ballfit::sim

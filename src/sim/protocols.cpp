@@ -11,40 +11,73 @@ namespace ballfit::sim {
 using net::NodeId;
 
 namespace {
+
 struct FloodMsg {
   NodeId origin;
   std::uint32_t ttl;
 };
+
+/// Effective retransmission count (the knob is >= 1 by contract).
+std::uint32_t repeat_of(const ProtocolOptions& opts) {
+  return std::max<std::uint32_t>(1, opts.repeat);
+}
+
+/// True when no node in `active` can participate — protocols return their
+/// "knows nothing" result immediately instead of spinning up an engine and
+/// running empty rounds.
+bool none_active(const net::NodeMask& active) {
+  return std::none_of(active.begin(), active.end(),
+                      [](bool b) { return b; });
+}
+
+bool is_down(const ProtocolOptions& opts, NodeId v) {
+  return opts.faults != nullptr && opts.faults->is_down(v);
+}
+
 }  // namespace
 
 std::vector<std::uint32_t> ttl_flood_count(const net::Network& net,
                                            const net::NodeMask& active,
-                                           std::uint32_t ttl,
-                                           RunStats* stats) {
+                                           std::uint32_t ttl, RunStats* stats,
+                                           const ProtocolOptions& opts) {
   const std::size_t n = net.num_nodes();
   BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
 
-  std::vector<std::unordered_set<NodeId>> heard(n);
-  RoundEngine<FloodMsg> engine(net, &active, "ttl_flood");
-
-  for (NodeId v = 0; v < n; ++v) {
-    if (!active[v]) continue;
-    heard[v].insert(v);
-    if (ttl > 0) engine.broadcast(v, {v, ttl - 1});
+  std::vector<std::uint32_t> counts(n, 0);
+  if (none_active(active)) {
+    if (stats != nullptr) *stats = RunStats{};
+    return counts;
   }
 
+  const std::uint32_t repeat = repeat_of(opts);
+  std::vector<std::unordered_set<NodeId>> heard(n);
+  RoundEngine<FloodMsg> engine(net, &active, "ttl_flood", opts.faults);
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v] || is_down(opts, v)) continue;
+    heard[v].insert(v);
+    if (ttl > 0) {
+      for (std::uint32_t r = 0; r < repeat; ++r)
+        engine.broadcast(v, {v, ttl - 1});
+    }
+  }
+
+  // Idempotent by construction: a duplicated or retransmitted packet whose
+  // origin is already known falls through the insert and is not forwarded.
   const RunStats rs = engine.run(
       [&](NodeId self, NodeId /*from*/, const FloodMsg& msg) {
         if (heard[self].insert(msg.origin).second && msg.ttl > 0) {
-          engine.broadcast(self, {msg.origin, msg.ttl - 1});
+          for (std::uint32_t r = 0; r < repeat; ++r)
+            engine.broadcast(self, {msg.origin, msg.ttl - 1});
         }
       },
-      /*max_rounds=*/ttl + 1);
+      /*max_rounds=*/opts.max_rounds > 0 ? opts.max_rounds : ttl + 1);
   if (stats != nullptr) *stats = rs;
 
-  std::vector<std::uint32_t> counts(n, 0);
   for (NodeId v = 0; v < n; ++v) {
-    if (active[v]) counts[v] = static_cast<std::uint32_t>(heard[v].size());
+    // Crashed nodes report nothing, whatever they heard before dying.
+    if (active[v] && !is_down(opts, v))
+      counts[v] = static_cast<std::uint32_t>(heard[v].size());
   }
   return counts;
 }
@@ -68,27 +101,42 @@ std::vector<std::uint32_t> ttl_flood_count_oracle(const net::Network& net,
 }
 
 std::vector<NodeId> leader_flood(const net::Network& net,
-                                 const net::NodeMask& active,
-                                 RunStats* stats) {
+                                 const net::NodeMask& active, RunStats* stats,
+                                 const ProtocolOptions& opts) {
   const std::size_t n = net.num_nodes();
   BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
 
   std::vector<NodeId> leader(n, net::kInvalidNode);
-  RoundEngine<NodeId> engine(net, &active, "leader_flood");
-  for (NodeId v = 0; v < n; ++v) {
-    if (!active[v]) continue;
-    leader[v] = v;
-    engine.broadcast(v, v);
+  if (none_active(active)) {
+    if (stats != nullptr) *stats = RunStats{};
+    return leader;
   }
+
+  const std::uint32_t repeat = repeat_of(opts);
+  RoundEngine<NodeId> engine(net, &active, "leader_flood", opts.faults);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!active[v] || is_down(opts, v)) continue;
+    leader[v] = v;
+    for (std::uint32_t r = 0; r < repeat; ++r) engine.broadcast(v, v);
+  }
+  // Idempotent: a candidate no smaller than the current leader (duplicate
+  // or stale retransmission) is ignored and not re-flooded.
   const RunStats rs = engine.run(
       [&](NodeId self, NodeId /*from*/, NodeId candidate) {
         if (candidate < leader[self]) {
           leader[self] = candidate;
-          engine.broadcast(self, candidate);
+          for (std::uint32_t r = 0; r < repeat; ++r)
+            engine.broadcast(self, candidate);
         }
       },
-      /*max_rounds=*/n + 1);
+      /*max_rounds=*/opts.max_rounds > 0 ? opts.max_rounds : n + 1);
   if (stats != nullptr) *stats = rs;
+
+  if (opts.faults != nullptr) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (opts.faults->is_down(v)) leader[v] = net::kInvalidNode;
+    }
+  }
   return leader;
 }
 
@@ -122,11 +170,13 @@ enum class Status : std::uint8_t { kUndecided, kLandmark, kCovered };
 
 std::vector<NodeId> khop_landmark_election(const net::Network& net,
                                            const net::NodeMask& active,
-                                           std::uint32_t k, RunStats* stats) {
+                                           std::uint32_t k, RunStats* stats,
+                                           const ProtocolOptions& opts) {
   const std::size_t n = net.num_nodes();
   BALLFIT_REQUIRE(active.size() == n, "mask size mismatch");
   BALLFIT_REQUIRE(k >= 1, "landmark spacing k must be >= 1");
 
+  const std::uint32_t repeat = repeat_of(opts);
   std::vector<Status> status(n, Status::kUndecided);
   std::size_t undecided = 0;
   for (NodeId v = 0; v < n; ++v) {
@@ -138,20 +188,43 @@ std::vector<NodeId> khop_landmark_election(const net::Network& net,
   std::vector<NodeId> landmarks;
 
   // Each iteration elects the locally-minimal undecided ids in parallel and
-  // suppresses their k-hop neighborhoods. At least one node (the globally
-  // smallest undecided id) wins per iteration, so this terminates.
+  // suppresses their k-hop neighborhoods. On a reliable network at least
+  // one node (the globally smallest undecided id) wins per iteration, so
+  // this terminates; under faults the explicit iteration guard below backs
+  // up the argument (crashed nodes leave the undecided pool each sweep).
+  std::size_t iterations = 0;
   while (undecided > 0) {
+    // --- Casualty sweep: nodes that died while undecided can never bid
+    // again; retire them so the loop's progress argument survives crashes.
+    if (opts.faults != nullptr) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (status[v] == Status::kUndecided && opts.faults->is_down(v)) {
+          status[v] = Status::kCovered;
+          --undecided;
+        }
+      }
+      if (undecided == 0) break;
+    }
+    // Safety net: each iteration either elects or retires at least one
+    // node, so n+1 iterations means the invariant broke — stop with a
+    // partial (still maximal-so-far) landmark set rather than spin.
+    if (++iterations > n + 1) break;
+
     // --- Bid phase: undecided nodes flood their id within k hops.
     std::vector<NodeId> min_bid(n, net::kInvalidNode);
     std::vector<std::unordered_map<NodeId, std::uint32_t>> heard(n);
-    RoundEngine<BidMsg> engine(net, &active, "landmark_election");
+    RoundEngine<BidMsg> engine(net, &active, "landmark_election",
+                               opts.faults);
     for (NodeId v = 0; v < n; ++v) {
       if (status[v] != Status::kUndecided) continue;
       min_bid[v] = v;
       heard[v][v] = k;
-      engine.broadcast(v, {BidKind::kBid, v, k - 1});
+      for (std::uint32_t r = 0; r < repeat; ++r)
+        engine.broadcast(v, {BidKind::kBid, v, k - 1});
     }
-    RunStats rs = engine.run(
+    // Idempotent: a bid is re-forwarded only when it arrives with more
+    // remaining TTL than ever seen before.
+    total += engine.run(
         [&](NodeId self, NodeId /*from*/, const BidMsg& msg) {
           BALLFIT_ASSERT(msg.kind == BidKind::kBid);
           auto [it, inserted] = heard[self].try_emplace(msg.id, msg.ttl);
@@ -160,32 +233,41 @@ std::vector<NodeId> khop_landmark_election(const net::Network& net,
             it->second = msg.ttl;
           }
           min_bid[self] = std::min(min_bid[self], msg.id);
-          if (msg.ttl > 0)
-            engine.broadcast(self, {BidKind::kBid, msg.id, msg.ttl - 1});
+          if (msg.ttl > 0) {
+            for (std::uint32_t r = 0; r < repeat; ++r)
+              engine.broadcast(self, {BidKind::kBid, msg.id, msg.ttl - 1});
+          }
         },
-        /*max_rounds=*/k + 1);
-    total.rounds += rs.rounds;
-    total.messages += rs.messages;
+        /*max_rounds=*/opts.max_rounds > 0 ? opts.max_rounds : k + 1);
 
-    // --- Decide phase: local minima become landmarks.
+    // --- Decide phase: live local minima become landmarks. (A node that
+    // crashed mid-bid may look like a local minimum; it is skipped here
+    // and retired by the next casualty sweep.)
     std::vector<NodeId> winners;
     for (NodeId v = 0; v < n; ++v) {
-      if (status[v] == Status::kUndecided && min_bid[v] == v) {
+      if (status[v] == Status::kUndecided && min_bid[v] == v &&
+          !is_down(opts, v)) {
         status[v] = Status::kLandmark;
         winners.push_back(v);
         --undecided;
       }
     }
-    BALLFIT_ASSERT_MSG(!winners.empty(),
-                       "landmark election made no progress");
+    if (winners.empty()) {
+      // Only reachable when a crash stole every local minimum this
+      // iteration; without faults it is a broken invariant.
+      BALLFIT_ASSERT_MSG(opts.faults != nullptr,
+                         "landmark election made no progress");
+      continue;
+    }
 
     // --- Cover phase: winners suppress their k-hop neighborhoods.
     std::vector<std::unordered_map<NodeId, std::uint32_t>> cover_heard(n);
-    RoundEngine<BidMsg> cover(net, &active, "landmark_election");
+    RoundEngine<BidMsg> cover(net, &active, "landmark_election", opts.faults);
     for (NodeId w : winners) {
-      cover.broadcast(w, {BidKind::kCover, w, k - 1});
+      for (std::uint32_t r = 0; r < repeat; ++r)
+        cover.broadcast(w, {BidKind::kCover, w, k - 1});
     }
-    rs = cover.run(
+    total += cover.run(
         [&](NodeId self, NodeId /*from*/, const BidMsg& msg) {
           BALLFIT_ASSERT(msg.kind == BidKind::kCover);
           auto [it, inserted] =
@@ -198,12 +280,12 @@ std::vector<NodeId> khop_landmark_election(const net::Network& net,
             status[self] = Status::kCovered;
             --undecided;
           }
-          if (msg.ttl > 0)
-            cover.broadcast(self, {BidKind::kCover, msg.id, msg.ttl - 1});
+          if (msg.ttl > 0) {
+            for (std::uint32_t r = 0; r < repeat; ++r)
+              cover.broadcast(self, {BidKind::kCover, msg.id, msg.ttl - 1});
+          }
         },
-        /*max_rounds=*/k + 1);
-    total.rounds += rs.rounds;
-    total.messages += rs.messages;
+        /*max_rounds=*/opts.max_rounds > 0 ? opts.max_rounds : k + 1);
 
     landmarks.insert(landmarks.end(), winners.begin(), winners.end());
   }

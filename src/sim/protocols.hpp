@@ -7,6 +7,15 @@
 /// boundary grouping (min-id leader flood), and landmark election (k-hop
 /// suppression). Each has an oracle counterpart in terms of BFS; tests
 /// assert equivalence.
+///
+/// All three tolerate imperfect communication when run with a
+/// `ProtocolOptions` carrying a fault model: handlers are idempotent (a
+/// duplicated delivery changes nothing), each newly learned fact can be
+/// re-broadcast `repeat` times to survive loss, termination is by
+/// quiescence-under-loss (bounded by a rounds cap) instead of exact round
+/// counts, and crashed nodes resolve to the "knows nothing" value (0 /
+/// kInvalidNode / not a landmark). At zero loss and no crashes the results
+/// are bit-identical to the oracles even with the fault hook installed.
 
 #include <cstdint>
 #include <vector>
@@ -14,19 +23,36 @@
 #include "net/graph.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 
 namespace ballfit::sim {
+
+/// Execution knobs shared by every protocol.
+struct ProtocolOptions {
+  /// Fault model to run under (non-owning; nullptr = reliable network).
+  FaultModel* faults = nullptr;
+  /// Radio transmissions per newly learned fact (>= 1). Each copy rolls
+  /// the loss process independently, so k retransmissions turn per-hop
+  /// loss p into p^k. Pointless (but harmless) without a fault model.
+  std::uint32_t repeat = 1;
+  /// Cap on engine rounds; 0 picks the protocol's natural bound (ttl+1
+  /// for TTL floods, n+1 for fragment-wide floods). Protocols terminate
+  /// on quiescence before the cap — under loss the cap is a safety net,
+  /// not the expected exit.
+  std::size_t max_rounds = 0;
+};
 
 /// TTL-limited origin-counting flood over the subgraph induced by `active`
 /// (paper Sec. II-B): every active node originates a packet with TTL `ttl`;
 /// packets are forwarded by active nodes only. Returns, for each active
 /// node, the number of *distinct originators heard, including itself* —
 /// i.e. the size of its TTL-neighborhood within its fragment. Inactive
-/// nodes get 0.
+/// (and crashed) nodes get 0.
 std::vector<std::uint32_t> ttl_flood_count(const net::Network& net,
                                            const net::NodeMask& active,
                                            std::uint32_t ttl,
-                                           RunStats* stats = nullptr);
+                                           RunStats* stats = nullptr,
+                                           const ProtocolOptions& opts = {});
 
 /// Oracle equivalent of `ttl_flood_count` via per-node BFS.
 std::vector<std::uint32_t> ttl_flood_count_oracle(const net::Network& net,
@@ -36,10 +62,11 @@ std::vector<std::uint32_t> ttl_flood_count_oracle(const net::Network& net,
 /// Min-id leader flood over the induced subgraph: every active node ends up
 /// knowing the smallest node id in its connected fragment. This both labels
 /// fragments (grouping, Sec. II-B last paragraph) and elects a unique
-/// leader per boundary. Inactive nodes map to kInvalidNode.
+/// leader per boundary. Inactive (and crashed) nodes map to kInvalidNode.
 std::vector<net::NodeId> leader_flood(const net::Network& net,
                                       const net::NodeMask& active,
-                                      RunStats* stats = nullptr);
+                                      RunStats* stats = nullptr,
+                                      const ProtocolOptions& opts = {});
 
 /// Oracle equivalent of `leader_flood` via connected components.
 std::vector<net::NodeId> leader_flood_oracle(const net::Network& net,
@@ -50,10 +77,11 @@ std::vector<net::NodeId> leader_flood_oracle(const net::Network& net,
 /// already-elected landmark lies within `k` hops and it has the smallest id
 /// among undecided nodes in its k-hop neighborhood. The result is a maximal
 /// k-hop independent set: landmarks are pairwise > k hops apart, and every
-/// active node is within k hops of some landmark.
-std::vector<net::NodeId> khop_landmark_election(const net::Network& net,
-                                                const net::NodeMask& active,
-                                                std::uint32_t k,
-                                                RunStats* stats = nullptr);
+/// active node is within k hops of some landmark. Under faults, crashed
+/// nodes are never elected and the spacing/coverage guarantees degrade to
+/// best-effort (lost cover packets can leave two landmarks closer than k).
+std::vector<net::NodeId> khop_landmark_election(
+    const net::Network& net, const net::NodeMask& active, std::uint32_t k,
+    RunStats* stats = nullptr, const ProtocolOptions& opts = {});
 
 }  // namespace ballfit::sim

@@ -1,0 +1,578 @@
+// Tests for the fault-injection layer (src/sim/faults) and the
+// loss/crash-tolerance of the protocols and pipeline built on it:
+//   - determinism: one seed, one outcome (drops, stats, results);
+//   - neutrality: the hook installed with a zero config (or pure loss=0)
+//     is bit-identical to the oracle implementations;
+//   - idempotency: duplicating every message changes nothing;
+//   - tolerance: floods still converge at 10-20% loss given repeat >= 2;
+//   - degradation: crashes shrink the answer but never break the run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "model/shapes.hpp"
+#include "net/builder.hpp"
+#include "net/graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/protocols.hpp"
+
+namespace ballfit::sim {
+namespace {
+
+using geom::Vec3;
+using net::NodeId;
+using net::NodeMask;
+
+net::Network line_network(int n, double spacing = 0.9) {
+  std::vector<Vec3> pos;
+  for (int i = 0; i < n; ++i)
+    pos.push_back({static_cast<double>(i) * spacing, 0, 0});
+  return net::Network(std::move(pos), std::vector<bool>(n, false), 1.0);
+}
+
+net::Network random_network(std::uint64_t seed, std::size_t surface = 150,
+                            std::size_t interior = 200) {
+  Rng rng(seed);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = surface;
+  opt.interior_count = interior;
+  return net::build_network(shape, opt, rng);
+}
+
+// ---------------------------------------------------------------------------
+// FaultModel unit behavior.
+
+TEST(FaultModel, ZeroConfigIsNeutral) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.any());
+  FaultModel model(cfg, 16);
+  EXPECT_EQ(model.num_down(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(model.deliver(0, 1));
+    EXPECT_FALSE(model.duplicate());
+  }
+  model.advance_round();
+  EXPECT_EQ(model.num_down(), 0u);
+  EXPECT_EQ(model.stats().dropped, 0u);
+  EXPECT_EQ(model.stats().duplicated, 0u);
+}
+
+TEST(FaultModel, RejectsOutOfRangeProbabilities) {
+  FaultConfig cfg;
+  cfg.drop_probability = 1.5;
+  EXPECT_THROW(FaultModel(cfg, 4), InvalidArgument);
+  cfg = FaultConfig{};
+  cfg.crash_fraction = -0.1;
+  EXPECT_THROW(FaultModel(cfg, 4), InvalidArgument);
+  cfg = FaultConfig{};
+  cfg.crash_at_round = {{9, 0}};
+  EXPECT_THROW(FaultModel(cfg, 4), InvalidArgument);
+}
+
+TEST(FaultModel, CrashFractionIsDeterministicInSeed) {
+  FaultConfig cfg;
+  cfg.crash_fraction = 0.3;
+  cfg.seed = 99;
+  FaultModel a(cfg, 200);
+  FaultModel b(cfg, 200);
+  ASSERT_GT(a.num_down(), 0u);
+  ASSERT_LT(a.num_down(), 200u);
+  for (NodeId v = 0; v < 200; ++v) EXPECT_EQ(a.is_down(v), b.is_down(v));
+  cfg.seed = 100;
+  FaultModel c(cfg, 200);
+  bool differs = false;
+  for (NodeId v = 0; v < 200; ++v) differs |= a.is_down(v) != c.is_down(v);
+  EXPECT_TRUE(differs) << "different seeds produced identical crash sets";
+}
+
+TEST(FaultModel, ScheduledCrashFiresAtItsRound) {
+  FaultConfig cfg;
+  cfg.crash_at_round = {{2, 0}, {5, 3}};
+  FaultModel model(cfg, 8);
+  EXPECT_TRUE(model.is_down(2));  // round-0 entries apply at construction
+  EXPECT_FALSE(model.is_down(5));
+  model.advance_round();  // round 1
+  model.advance_round();  // round 2
+  EXPECT_FALSE(model.is_down(5));
+  model.advance_round();  // round 3
+  EXPECT_TRUE(model.is_down(5));
+  EXPECT_EQ(model.num_down(), 2u);
+}
+
+TEST(FaultModel, LinkLossIsFixedPerLinkAndAsymmetric) {
+  FaultConfig cfg;
+  cfg.link_loss_max = 0.8;
+  cfg.seed = 7;
+  FaultModel model(cfg, 64);
+  const double ab = model.link_loss(3, 4);
+  EXPECT_EQ(model.link_loss(3, 4), ab);  // stateless: same link, same value
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 0.8);
+  // Directions draw independently; equality would be a (vanishing-measure)
+  // hash coincidence.
+  EXPECT_NE(model.link_loss(3, 4), model.link_loss(4, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Engine semantics under a fault model.
+
+TEST(RoundEngineFaults, NonNeighborSendBecomesCountedDrop) {
+  const net::Network net = line_network(4);
+  FaultModel model(FaultConfig{}, net.num_nodes());
+  RoundEngine<int> engine(net, nullptr, nullptr, &model);
+  EXPECT_NO_THROW(engine.send(0, 3, 1));  // out of range: dropped, no throw
+  EXPECT_EQ(engine.stats().dropped, 1u);
+  EXPECT_EQ(model.stats().dropped, 1u);
+  int deliveries = 0;
+  engine.run([&](NodeId, NodeId, int) { ++deliveries; }, 10);
+  EXPECT_EQ(deliveries, 0);
+}
+
+TEST(RoundEngineFaults, SendToCrashedNodeBecomesCountedDrop) {
+  const net::Network net = line_network(4);
+  FaultConfig cfg;
+  cfg.crash_at_round = {{1, 0}};
+  FaultModel model(cfg, net.num_nodes());
+  RoundEngine<int> engine(net, nullptr, nullptr, &model);
+  engine.send(0, 1, 42);     // dead receiver
+  engine.broadcast(1, 7);    // dead sender
+  EXPECT_EQ(engine.stats().dropped, 2u);
+  int deliveries = 0;
+  engine.run([&](NodeId, NodeId, int) { ++deliveries; }, 10);
+  EXPECT_EQ(deliveries, 0);
+}
+
+TEST(RoundEngineFaults, WithoutModelHardContractsStillHold) {
+  const net::Network net = line_network(4);
+  RoundEngine<int> engine(net);
+  EXPECT_THROW(engine.send(0, 3, 1), InvalidArgument);
+}
+
+TEST(RoundEngineFaults, MidRunCrashDropsQueuedMail) {
+  const net::Network net = line_network(3);
+  FaultConfig cfg;
+  cfg.crash_at_round = {{1, 1}};  // node 1 dies at the start of round 1
+  FaultModel model(cfg, net.num_nodes());
+  RoundEngine<int> engine(net, nullptr, nullptr, &model);
+  engine.send(0, 1, 42);  // queued for round 1 — receiver dies first
+  int deliveries = 0;
+  engine.run([&](NodeId, NodeId, int) { ++deliveries; }, 10);
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(engine.stats().dropped, 1u);
+}
+
+TEST(RoundEngineFaults, DropProbabilityOneLosesEverything) {
+  const net::Network net = line_network(5);
+  NodeMask active(5, true);
+  FaultConfig cfg;
+  cfg.drop_probability = 1.0;
+  FaultModel model(cfg, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+  const auto counts = ttl_flood_count(net, active, 3, nullptr, opts);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(counts[v], 1u);  // self only
+  EXPECT_GT(model.stats().dropped, 0u);
+}
+
+TEST(RoundEngineFaults, BroadcastStillReachesAllActiveNeighbors) {
+  // Guards the move-into-last-queue optimization: every active neighbor
+  // still receives one copy, and the message payload survives intact.
+  const net::Network net = line_network(3);  // node 1 has neighbors 0 and 2
+  RoundEngine<std::string> engine(net);
+  engine.broadcast(1, std::string("payload"));
+  int deliveries = 0;
+  engine.run(
+      [&](NodeId, NodeId from, const std::string& msg) {
+        ++deliveries;
+        EXPECT_EQ(from, 1u);
+        EXPECT_EQ(msg, "payload");
+      },
+      10);
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(engine.stats().messages, 1u);  // one radio transmission
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: one seed, one outcome.
+
+TEST(FaultDeterminism, SameSeedSameDropsStatsAndResults) {
+  const net::Network net = random_network(3);
+  NodeMask active(net.num_nodes(), true);
+  FaultConfig cfg;
+  cfg.drop_probability = 0.15;
+  cfg.duplicate_probability = 0.05;
+  cfg.crash_probability = 0.002;
+  cfg.seed = 42;
+
+  auto run_once = [&](RunStats* stats) {
+    FaultModel model(cfg, net.num_nodes());
+    ProtocolOptions opts;
+    opts.faults = &model;
+    opts.repeat = 2;
+    return ttl_flood_count(net, active, 3, stats, opts);
+  };
+  RunStats s1, s2;
+  const auto r1 = run_once(&s1);
+  const auto r2 = run_once(&s2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(s1.messages, s2.messages);
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.dropped, s2.dropped);
+  EXPECT_EQ(s1.duplicated, s2.duplicated);
+  EXPECT_GT(s1.dropped, 0u);
+}
+
+TEST(FaultDeterminism, DifferentSeedsDifferentDrops) {
+  const net::Network net = random_network(3);
+  NodeMask active(net.num_nodes(), true);
+  FaultConfig cfg;
+  cfg.drop_probability = 0.15;
+  auto drops = [&](std::uint64_t seed) {
+    cfg.seed = seed;
+    FaultModel model(cfg, net.num_nodes());
+    ProtocolOptions opts;
+    opts.faults = &model;
+    RunStats stats;
+    ttl_flood_count(net, active, 3, &stats, opts);
+    return stats.dropped;
+  };
+  EXPECT_NE(drops(1), drops(2));
+}
+
+// ---------------------------------------------------------------------------
+// Neutrality: hook installed, loss 0, no crashes => bit-identical results.
+
+class FaultFreeEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFreeEquivalence, AllProtocolsMatchOraclesWithHookInstalled) {
+  const net::Network net = random_network(GetParam());
+  Rng rng(GetParam() * 13 + 5);
+  NodeMask active(net.num_nodes(), false);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) active[v] = rng.bernoulli(0.6);
+
+  FaultModel model(FaultConfig{}, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+
+  for (std::uint32_t ttl : {1u, 2u, 3u}) {
+    EXPECT_EQ(ttl_flood_count(net, active, ttl, nullptr, opts),
+              ttl_flood_count_oracle(net, active, ttl))
+        << "ttl=" << ttl;
+  }
+  EXPECT_EQ(leader_flood(net, active, nullptr, opts),
+            leader_flood_oracle(net, active));
+
+  NodeMask all(net.num_nodes(), true);
+  EXPECT_EQ(khop_landmark_election(net, all, 2, nullptr, opts),
+            khop_landmark_election(net, all, 2));
+  EXPECT_EQ(model.stats().dropped, 0u);
+  EXPECT_EQ(model.stats().duplicated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFreeEquivalence,
+                         ::testing::Values(1, 2, 3));
+
+TEST(FaultFreeEquivalence, RepeatAloneDoesNotChangeResults) {
+  const net::Network net = random_network(5);
+  NodeMask active(net.num_nodes(), true);
+  FaultModel model(FaultConfig{}, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+  opts.repeat = 3;
+  RunStats stats;
+  EXPECT_EQ(ttl_flood_count(net, active, 2, &stats, opts),
+            ttl_flood_count_oracle(net, active, 2));
+  EXPECT_EQ(leader_flood(net, active, nullptr, opts),
+            leader_flood_oracle(net, active));
+  EXPECT_GT(stats.messages, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Idempotency: duplicated deliveries change nothing.
+
+TEST(FaultIdempotency, DuplicatingEveryMessagePreservesAllProtocols) {
+  const net::Network net = random_network(7);
+  NodeMask active(net.num_nodes(), true);
+  FaultConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  FaultModel model(cfg, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+
+  EXPECT_EQ(ttl_flood_count(net, active, 3, nullptr, opts),
+            ttl_flood_count_oracle(net, active, 3));
+  EXPECT_EQ(leader_flood(net, active, nullptr, opts),
+            leader_flood_oracle(net, active));
+  EXPECT_EQ(khop_landmark_election(net, active, 2, nullptr, opts),
+            khop_landmark_election(net, active, 2));
+  EXPECT_GT(model.stats().duplicated, 0u);
+  EXPECT_EQ(model.stats().dropped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Loss tolerance: repeat >= 2 keeps floods converging at 10-20% loss.
+
+class LossTolerance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossTolerance, FloodsConvergeAtFifteenPercentLossWithRepeat3) {
+  const net::Network net = random_network(GetParam(), 80, 100);
+  NodeMask active(net.num_nodes(), true);
+  FaultConfig cfg;
+  cfg.drop_probability = 0.15;
+  cfg.seed = GetParam();
+
+  // Per-hop delivery with 3 transmissions: 1 - 0.15^3 = 99.66%. The
+  // fragment-wide leader flood has both that and path redundancy plus n
+  // rounds to recover, so it converges to the exact oracle answer.
+  {
+    FaultModel model(cfg, net.num_nodes());
+    ProtocolOptions opts;
+    opts.faults = &model;
+    opts.repeat = 3;
+    RunStats stats;
+    EXPECT_EQ(leader_flood(net, active, &stats, opts),
+              leader_flood_oracle(net, active));
+    EXPECT_GT(stats.dropped, 0u) << "loss process never fired";
+  }
+  // The TTL flood has no rounds to spare (a lost fact is gone after ttl
+  // hops), so convergence is statistical: each node aggregates hundreds
+  // of (origin, path) events, a handful of which hit the 0.34% per-hop
+  // failure. Most nodes must still see the exact oracle count, the total
+  // heard volume must stay within 1% of the oracle, and no node may hear
+  // phantoms or go deaf.
+  {
+    FaultModel model(cfg, net.num_nodes());
+    ProtocolOptions opts;
+    opts.faults = &model;
+    opts.repeat = 3;
+    const auto lossy = ttl_flood_count(net, active, 2, nullptr, opts);
+    const auto exact = ttl_flood_count_oracle(net, active, 2);
+    std::size_t matching = 0;
+    std::uint64_t lossy_total = 0;
+    std::uint64_t exact_total = 0;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      EXPECT_LE(lossy[v], exact[v]) << "node " << v << " heard phantoms";
+      EXPECT_GE(lossy[v], 1u);
+      // Every node individually recovers at least 95% of its oracle
+      // count (the +1 absorbs integer granularity on sparse nodes).
+      EXPECT_GE((lossy[v] + 1) * 100, exact[v] * 95)
+          << "node " << v << " lost too many facts: " << lossy[v] << " of "
+          << exact[v];
+      matching += lossy[v] == exact[v];
+      lossy_total += lossy[v];
+      exact_total += exact[v];
+    }
+    EXPECT_GE(matching * 100, net.num_nodes() * 85)
+        << "more than 15% of nodes diverged from the oracle count";
+    EXPECT_GE(lossy_total * 100, exact_total * 99)
+        << "flood volume fell more than 1% below the oracle";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossTolerance, ::testing::Values(1, 2, 3, 4));
+
+TEST(LossTolerance, TwentyPercentLossDegradesGracefullyNotCatastrophically) {
+  const net::Network net = random_network(11, 80, 100);
+  NodeMask active(net.num_nodes(), true);
+  FaultConfig cfg;
+  cfg.drop_probability = 0.2;
+  cfg.seed = 3;
+  FaultModel model(cfg, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+  opts.repeat = 2;
+
+  // Counts can only shrink under loss (no phantom originators), and with
+  // repeat=2 the bulk of the neighborhood still gets through.
+  const auto lossy = ttl_flood_count(net, active, 2, nullptr, opts);
+  const auto exact = ttl_flood_count_oracle(net, active, 2);
+  std::size_t heard_lossy = 0, heard_exact = 0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_LE(lossy[v], exact[v]) << "node " << v << " heard phantoms";
+    EXPECT_GE(lossy[v], 1u);
+    heard_lossy += lossy[v];
+    heard_exact += exact[v];
+  }
+  EXPECT_GT(heard_lossy * 10, heard_exact * 8)
+      << "repeat=2 at 20% loss should retain >80% of the flood volume";
+}
+
+TEST(LossTolerance, ElectionTerminatesAndElectsOnlyLiveNodes) {
+  const net::Network net = random_network(13, 80, 100);
+  NodeMask active(net.num_nodes(), true);
+  FaultConfig cfg;
+  cfg.drop_probability = 0.2;
+  cfg.crash_probability = 0.01;
+  cfg.seed = 5;
+  FaultModel model(cfg, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+  opts.repeat = 2;
+  const auto landmarks = khop_landmark_election(net, active, 2, nullptr, opts);
+  ASSERT_FALSE(landmarks.empty());
+  for (NodeId lm : landmarks) EXPECT_FALSE(model.is_down(lm));
+}
+
+// ---------------------------------------------------------------------------
+// Crashes: protocols and pipeline shrink but never break.
+
+TEST(CrashTolerance, CrashedNodesReportNothing) {
+  const net::Network net = line_network(7);
+  NodeMask active(7, true);
+  FaultConfig cfg;
+  cfg.crash_at_round = {{3, 0}};  // severs the line into two fragments
+  FaultModel model(cfg, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+
+  const auto counts = ttl_flood_count(net, active, 6, nullptr, opts);
+  EXPECT_EQ(counts[0], 3u);  // 0,1,2 only — 3 is a barrier now
+  EXPECT_EQ(counts[3], 0u);
+  EXPECT_EQ(counts[6], 3u);
+
+  FaultModel model2(cfg, net.num_nodes());
+  opts.faults = &model2;
+  const auto leader = leader_flood(net, active, nullptr, opts);
+  EXPECT_EQ(leader[0], 0u);
+  EXPECT_EQ(leader[2], 0u);
+  EXPECT_EQ(leader[3], net::kInvalidNode);
+  EXPECT_EQ(leader[4], 4u);
+  EXPECT_EQ(leader[6], 4u);
+}
+
+TEST(CrashTolerance, AllInactiveMaskReturnsImmediately) {
+  const net::Network net = line_network(6);
+  NodeMask none(6, false);
+  RunStats stats;
+  stats.rounds = 99;
+  const auto counts = ttl_flood_count(net, none, 3, &stats);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(counts[v], 0u);
+  const auto leader = leader_flood(net, none, &stats);
+  EXPECT_EQ(stats.messages, 0u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(leader[v], net::kInvalidNode);
+}
+
+TEST(CrashTolerance, EveryNodeCrashedStillTerminates) {
+  const net::Network net = line_network(5);
+  NodeMask active(5, true);
+  FaultConfig cfg;
+  cfg.crash_fraction = 1.0;
+  FaultModel model(cfg, net.num_nodes());
+  ProtocolOptions opts;
+  opts.faults = &model;
+  const auto counts = ttl_flood_count(net, active, 3, nullptr, opts);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(counts[v], 0u);
+  const auto landmarks = khop_landmark_election(net, active, 2, nullptr, opts);
+  EXPECT_TRUE(landmarks.empty());
+}
+
+}  // namespace
+}  // namespace ballfit::sim
+
+// ---------------------------------------------------------------------------
+// Pipeline-level graceful degradation.
+
+namespace ballfit::core {
+namespace {
+
+using net::NodeId;
+
+net::Network pipeline_network(std::uint64_t seed) {
+  Rng rng(seed);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = 250;
+  opt.interior_count = 350;
+  return net::build_network(shape, opt, rng);
+}
+
+TEST(PipelineFaults, ZeroFaultConfigMatchesReliableRun) {
+  const net::Network network = pipeline_network(17);
+  PipelineConfig reliable;
+  reliable.use_true_coordinates = true;
+  PipelineConfig hooked = reliable;
+  hooked.faults = sim::FaultConfig{};  // installed but inert
+
+  const PipelineResult a = detect_boundaries(network, reliable);
+  const PipelineResult b = detect_boundaries(network, hooked);
+  EXPECT_EQ(a.frame_fallbacks, b.frame_fallbacks);
+  EXPECT_EQ(a.ubf_candidates, b.ubf_candidates);
+  EXPECT_EQ(a.boundary, b.boundary);
+  EXPECT_EQ(a.groups.leader, b.groups.leader);
+  EXPECT_EQ(b.crashed_nodes, 0u);
+  EXPECT_EQ(b.fault_stats.dropped, 0u);
+}
+
+TEST(PipelineFaults, CrashedNodesAreNeverReportedAsBoundary) {
+  const net::Network network = pipeline_network(17);
+  PipelineConfig cfg;
+  cfg.use_true_coordinates = true;
+  sim::FaultConfig faults;
+  faults.crash_fraction = 0.2;
+  faults.seed = 11;
+  cfg.faults = faults;
+
+  const PipelineResult result = detect_boundaries(network, cfg);
+  EXPECT_GT(result.crashed_nodes, 0u);
+  // Rebuild the model to recover the (deterministic) down set.
+  sim::FaultModel model(faults, network.num_nodes());
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    if (model.is_down(v)) {
+      EXPECT_FALSE(result.ubf_candidates[v]);
+      EXPECT_FALSE(result.boundary[v]);
+      EXPECT_EQ(result.groups.leader[v], net::kInvalidNode);
+    }
+  }
+}
+
+TEST(PipelineFaults, DegradesGracefullyUnderLossAndCrashes) {
+  const net::Network network = pipeline_network(17);
+  PipelineConfig cfg;
+  cfg.use_true_coordinates = true;
+  sim::FaultConfig faults;
+  faults.drop_probability = 0.15;
+  faults.duplicate_probability = 0.05;
+  faults.crash_fraction = 0.1;
+  faults.seed = 23;
+  cfg.faults = faults;
+  cfg.flood_repeat = 2;
+
+  const PipelineResult result = detect_boundaries(network, cfg);
+  const DetectionStats s = evaluate_detection(network, result.boundary);
+  // Degraded, not destroyed: the run completes, telemetry is populated,
+  // and a meaningful share of the boundary is still found.
+  EXPECT_GT(result.fault_stats.dropped, 0u);
+  EXPECT_GT(result.fault_stats.duplicated, 0u);
+  EXPECT_GT(result.crashed_nodes, 0u);
+  EXPECT_GT(s.correct, s.true_boundary / 2);
+}
+
+TEST(PipelineFaults, FaultRunsAreDeterministic) {
+  const net::Network network = pipeline_network(19);
+  PipelineConfig cfg;
+  cfg.use_true_coordinates = true;
+  sim::FaultConfig faults;
+  faults.drop_probability = 0.1;
+  faults.crash_fraction = 0.05;
+  faults.seed = 31;
+  cfg.faults = faults;
+  cfg.flood_repeat = 2;
+
+  const PipelineResult a = detect_boundaries(network, cfg);
+  const PipelineResult b = detect_boundaries(network, cfg);
+  EXPECT_EQ(a.boundary, b.boundary);
+  EXPECT_EQ(a.groups.leader, b.groups.leader);
+  EXPECT_EQ(a.fault_stats.dropped, b.fault_stats.dropped);
+  EXPECT_EQ(a.fault_stats.duplicated, b.fault_stats.duplicated);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+}
+
+}  // namespace
+}  // namespace ballfit::core
