@@ -1,0 +1,190 @@
+/// \file bench_compare.cpp
+/// Perf-regression gate for the UBF hot kernel.
+///
+/// Times `UnitBallFitting::detect_with_true_coordinates` — the pure,
+/// single-threaded Algorithm 1 kernel, free of localization noise — on the
+/// Fig. 1 scenario, writes a machine-readable record, and (with
+/// `--against`) compares the measured wall time to a committed baseline:
+///
+///   bench_compare --out BENCH_$(git rev-parse --short=12 HEAD).json \
+///                 --against bench/baselines/BENCH_<sha>.json
+///
+/// Exit status 1 when the kernel regressed more than `--threshold`
+/// (default 0.15 = 15%) against the baseline's best time, or when the
+/// boundary classification diverges from the baseline (the optimization
+/// contract is bit-identical output — a count drift is a correctness
+/// regression, not a perf one). See EXPERIMENTS.md, "Performance
+/// regression tracking" for the schema, the threshold rationale, and how
+/// to refresh the baseline after an intentional change.
+///
+/// Flags: --scale S (default 1.0) --reps N (default 7) --out PATH
+///        --against PATH --threshold F
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/buildinfo.hpp"
+#include "core/ubf.hpp"
+#include "model/zoo.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using ballfit::bench::double_flag;
+using ballfit::bench::int_flag;
+using ballfit::bench::string_flag;
+
+/// Minimal field extraction from a baseline file. The repo has a JSON
+/// writer but no parser; the baseline schema is flat and produced by this
+/// very tool, so scanning for `"key":` is adequate and keeps the bench
+/// dependency-free. Returns false when the key is absent.
+bool extract_number(const std::string& json, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::atof(json.c_str() + pos + needle.size());
+  return true;
+}
+
+std::string extract_string(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = json.find('"', start);
+  return json.substr(start, end - start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ballfit;
+  const double scale = double_flag(argc, argv, "--scale", 1.0);
+  const int reps = int_flag(argc, argv, "--reps", 7);
+  const double threshold = double_flag(argc, argv, "--threshold", 0.15);
+  const std::string sha = git_sha();
+  const std::string out_path =
+      string_flag(argc, argv, "--out", "BENCH_" + sha + ".json");
+  const std::string against = string_flag(argc, argv, "--against", "");
+
+  const model::Scenario scenario = model::fig1_network(scale);
+  const net::Network network =
+      bench::build_scenario_network(scenario, /*seed=*/1, 18.8);
+  double avg_degree = 0.0;
+  for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+    avg_degree += static_cast<double>(network.degree(i));
+  }
+  avg_degree /= static_cast<double>(network.num_nodes());
+
+  const core::UnitBallFitting ubf(network);
+  using Clock = std::chrono::steady_clock;
+  double best_ms = 0.0, total_ms = 0.0;
+  std::size_t boundary_nodes = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    const std::vector<bool> boundary = ubf.detect_with_true_coordinates();
+    const auto t1 = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    total_ms += ms;
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+    boundary_nodes = 0;
+    for (const bool b : boundary) boundary_nodes += b;
+    std::printf("rep %d: %.2f ms (boundary=%zu)\n", rep, ms, boundary_nodes);
+  }
+  const double mean_ms = total_ms / reps;
+  std::printf("ubf.true_coords: best %.2f ms, mean %.2f ms over %d reps\n",
+              best_ms, mean_ms, reps);
+
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("schema", "ballfit-bench-compare-v1");
+    w.field("git_sha", sha);
+    w.field("threads", std::uint64_t{1});  // kernel is timed single-threaded
+    w.key("scenario")
+        .begin_object()
+        .field("name", scenario.name)
+        .field("scale", scale)
+        .field("seed", std::uint64_t{1})
+        .field("nodes", static_cast<std::uint64_t>(network.num_nodes()))
+        .field("avg_degree", avg_degree)
+        .end_object();
+    w.key("kernel")
+        .begin_object()
+        .field("name", "ubf.true_coords")
+        .field("reps", static_cast<std::uint64_t>(reps))
+        .field("best_ms", best_ms)
+        .field("mean_ms", mean_ms)
+        .field("boundary_nodes", static_cast<std::uint64_t>(boundary_nodes))
+        .end_object();
+    w.end_object();
+    std::ofstream out(out_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 2;
+    }
+    out << w.str() << '\n';
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (against.empty()) return 0;
+
+  std::ifstream in(against);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read baseline %s\n", against.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string baseline = buf.str();
+
+  double base_best = 0.0, base_nodes = 0.0, base_boundary = 0.0;
+  if (!extract_number(baseline, "best_ms", &base_best) || base_best <= 0.0) {
+    std::fprintf(stderr, "baseline %s has no usable best_ms\n",
+                 against.c_str());
+    return 2;
+  }
+  const std::string base_sha = extract_string(baseline, "git_sha");
+
+  // Bit-identity gate: same scenario + same seed must classify the same
+  // nodes as boundary in every build. A divergence means the kernel's
+  // *output* changed, which no amount of speed excuses.
+  if (extract_number(baseline, "nodes", &base_nodes) &&
+      static_cast<std::size_t>(base_nodes) != network.num_nodes()) {
+    std::fprintf(stderr,
+                 "baseline scenario mismatch: %zu nodes now vs %.0f in %s "
+                 "— not comparable, regenerate the baseline\n",
+                 network.num_nodes(), base_nodes, against.c_str());
+    return 2;
+  }
+  if (extract_number(baseline, "boundary_nodes", &base_boundary) &&
+      static_cast<std::size_t>(base_boundary) != boundary_nodes) {
+    std::fprintf(stderr,
+                 "CLASSIFICATION DRIFT: %zu boundary nodes now vs %.0f in "
+                 "baseline %s (%s)\n",
+                 boundary_nodes, base_boundary, against.c_str(),
+                 base_sha.c_str());
+    return 1;
+  }
+
+  const double ratio = best_ms / base_best;
+  std::printf("vs baseline %s (%s): %.2f ms -> %.2f ms (%+.1f%%)\n",
+              against.c_str(), base_sha.c_str(), base_best, best_ms,
+              (ratio - 1.0) * 100.0);
+  if (ratio > 1.0 + threshold) {
+    std::fprintf(stderr,
+                 "REGRESSION: ubf.true_coords slowed by %.1f%% (threshold "
+                 "%.0f%%)\n",
+                 (ratio - 1.0) * 100.0, threshold * 100.0);
+    return 1;
+  }
+  std::printf("within threshold (%.0f%%)\n", threshold * 100.0);
+  return 0;
+}

@@ -9,10 +9,16 @@
 /// histograms), as one JSON document so results can be diffed and trended
 /// between builds. Schema (see EXPERIMENTS.md "bench_results.json"):
 ///
-///   {"bench": <name>, "setup": <obs snapshot of network synthesis>,
+///   {"bench": <name>, "git_sha": <build revision>,
+///    "threads": <hardware concurrency>,
+///    "setup": <obs snapshot of network synthesis>,
 ///    "runs": [{"params": {...}, "detection": {...},
 ///              "costs": {name: {messages, rounds}},
 ///              "obs": {counters, gauges, histograms, spans}}]}
+///
+/// `git_sha` and `threads` tie every record to the build it came from and
+/// the machine parallelism it ran under — without them, results files from
+/// different checkouts or machines are silently incomparable.
 ///
 /// Usage:
 ///   bench::BenchReport report("fig1_boundary_detection", argc, argv);
@@ -32,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buildinfo.hpp"
 #include "core/stats.hpp"
 #include "obs/export.hpp"
 #include "sim/engine.hpp"
@@ -111,6 +118,8 @@ class BenchReport {
     obs::JsonWriter w;
     w.begin_object();
     w.field("bench", name_);
+    w.field("git_sha", git_sha());
+    w.field("threads", static_cast<std::uint64_t>(hardware_threads()));
     if (setup_) {
       w.key("setup");
       obs::write_json(w, *setup_);

@@ -14,6 +14,7 @@
 #include "linalg/mds.hpp"
 #include "localization/local_frame.hpp"
 #include "model/shapes.hpp"
+#include "model/zoo.hpp"
 #include "net/builder.hpp"
 #include "sim/protocols.hpp"
 
@@ -97,6 +98,23 @@ void BM_PerNodeDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_PerNodeDetection)->Arg(12)->Arg(18)->Arg(26)
     ->Unit(benchmark::kMillisecond);
+
+// The whole single-threaded UBF kernel (gather + candidate cache + pair
+// sweep) on a reduced Fig. 1 scenario — the same quantity the
+// bench_compare regression gate tracks at full scale.
+void BM_UbfKernelTrueCoords(benchmark::State& state) {
+  Rng rng(7);
+  const model::Scenario scenario = model::fig1_network(0.5);
+  net::BuildOptions opt =
+      net::options_for_target_degree(*scenario.shape, 18.8, 0.5, rng);
+  opt.interior_margin = 0.35 * opt.radio_range;
+  const net::Network network = net::build_network(*scenario.shape, opt, rng);
+  const core::UnitBallFitting ubf(network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ubf.detect_with_true_coordinates());
+  }
+}
+BENCHMARK(BM_UbfKernelTrueCoords)->Unit(benchmark::kMillisecond);
 
 void BM_TtlFlood(benchmark::State& state) {
   Rng rng(5);

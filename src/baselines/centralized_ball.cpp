@@ -43,15 +43,13 @@ std::vector<bool> centralized_ball_detect(const net::Network& network,
                 r);
             for (int c = 0; c < balls.count && !found; ++c) {
               const Vec3& center = balls.centers[c];
-              bool empty = true;
-              grid.for_each_in_radius(center, r, [&](std::uint32_t u) {
-                if (!empty || u == i || u == near[a] || u == near[b]) return;
-                if (network.position(u).distance_sq_to(center) <
-                    inside_limit_sq) {
-                  empty = false;
-                }
+              // Early-exit visitor: the first strictly-inside node proves
+              // the ball non-empty, so the walk stops there.
+              found = grid.for_each_in_ball(center, r, [&](std::uint32_t u) {
+                if (u == i || u == near[a] || u == near[b]) return true;
+                return network.position(u).distance_sq_to(center) >=
+                       inside_limit_sq;
               });
-              found = empty;
             }
           }
         }

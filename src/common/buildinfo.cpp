@@ -1,0 +1,25 @@
+#include "common/buildinfo.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace ballfit {
+
+std::string git_sha() {
+  if (const char* env = std::getenv("BALLFIT_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+#ifdef BALLFIT_GIT_SHA_DEF
+  return BALLFIT_GIT_SHA_DEF;
+#else
+  return "unknown";
+#endif
+}
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+}  // namespace ballfit

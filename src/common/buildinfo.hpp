@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file buildinfo.hpp
+/// Build provenance for telemetry records.
+///
+/// Every machine-readable artifact (bench_results.json, BENCH_<sha>.json)
+/// embeds the git revision it was produced from, so results can be tied
+/// back to the exact code. Resolution order for the revision:
+///
+///   1. The `BALLFIT_GIT_SHA` environment variable, when set and non-empty.
+///      CI sets this from the checkout ref: a cached build directory may
+///      carry a configure-time SHA that is stale by the time the binary
+///      runs, and the environment wins over the baked-in value.
+///   2. The compile-time definition captured at configure time
+///      (`git rev-parse` in src/common/CMakeLists.txt).
+///   3. The literal `"unknown"` (tarball builds, git unavailable).
+
+#include <string>
+
+namespace ballfit {
+
+/// The git revision this binary was built from (short hash), resolved as
+/// described in the file header. Never empty.
+std::string git_sha();
+
+/// Hardware concurrency clamped to at least 1 (the value `std::thread::
+/// hardware_concurrency` reports as 0 when it cannot tell).
+unsigned hardware_threads();
+
+}  // namespace ballfit

@@ -32,28 +32,36 @@
 namespace ballfit::core {
 
 struct PipelineConfig {
+  /// Phase-1 detection knobs (ball radius ε, emptiness scope, vote
+  /// thresholds, cross-verification) — see UbfConfig field docs.
   UbfConfig ubf;
+  /// Phase-2 fragment-filtering knobs (θ = 20, T = 3 by default).
   IffConfig iff;
-  /// Distance measurement error as a fraction of the radio range
-  /// (Sec. IV-A sweeps this from 0 to 1).
+  /// Maximum distance measurement error as a fraction of the radio range,
+  /// in [0, 1] (Sec. IV-A sweeps this axis; default 0 = exact ranging).
   double measurement_error = 0.0;
-  /// Seed for the measurement noise process.
+  /// Seed for the measurement noise process (default 1). Same network +
+  /// same config + same seed reproduces the run exactly.
   std::uint64_t noise_seed = 1;
   /// Skip local MDS and hand UBF the true coordinates — the noiseless
-  /// reference configuration (and a localization ablation).
+  /// reference configuration (and a localization ablation). Default off.
   bool use_true_coordinates = false;
-  /// Run grouping after IFF.
+  /// Run boundary grouping after IFF (default on).
   bool group = true;
-  /// Worker threads for the per-node stages (0 = hardware concurrency).
+  /// Worker threads for the per-node stages (count; default 0 = hardware
+  /// concurrency). Results are thread-count-independent — the per-thread
+  /// scratch arenas in the UBF kernel carry no state between nodes.
   unsigned threads = 0;
-  /// Fault injection for the communication stages (nullopt = reliable
-  /// network, the paper's assumption). One `sim::FaultModel` is built from
-  /// this config and shared by IFF and grouping, so crash rounds are
-  /// global across both floods. With an all-zero config installed the
+  /// Fault injection for the communication stages (default nullopt =
+  /// reliable network, the paper's assumption). One `sim::FaultModel` is
+  /// built from this config and shared by IFF and grouping, so crash
+  /// rounds are global across both floods and the loss/duplication RNG
+  /// streams advance monotonically — see the FaultModel determinism
+  /// contract in sim/faults.hpp. With an all-zero config installed the
   /// outputs are bit-identical to the reliable run.
   std::optional<sim::FaultConfig> faults;
-  /// Retransmissions per newly learned fact in the floods (>= 1); raise to
-  /// 2–3 to keep floods converging at 10–20% loss.
+  /// Retransmissions per newly learned fact in the floods (count, >= 1,
+  /// default 1); raise to 2–3 to keep floods converging at 10–20% loss.
   std::uint32_t flood_repeat = 1;
 };
 

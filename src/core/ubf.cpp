@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "geom/candidate_cache.hpp"
 #include "geom/trisphere.hpp"
 #include "net/graph.hpp"
 #include "obs/trace.hpp"
@@ -60,20 +60,187 @@ UnitBallFitting::InsideLimits UnitBallFitting::inside_limits(
 namespace {
 
 /// Is the ball at `center` empty of all members except the defining triple?
+/// The naive full scan — kept for the witness-side check, which evaluates
+/// only a handful of balls per frame and would not amortize a cache build.
 bool ball_is_empty(const std::vector<Vec3>& coords, const Vec3& center,
                    std::size_t skip_a, std::size_t skip_b, std::size_t skip_c,
                    std::size_t witness_count, double one_hop_limit_sq,
-                   double two_hop_limit_sq,
-                   std::size_t* nodes_checked = nullptr) {
+                   double two_hop_limit_sq) {
   for (std::size_t u = 0; u < coords.size(); ++u) {
     if (u == skip_a || u == skip_b || u == skip_c) continue;
-    if (nodes_checked != nullptr) ++(*nodes_checked);
     const double limit_sq =
         u < witness_count ? one_hop_limit_sq : two_hop_limit_sq;
     if (coords[u].distance_sq_to(center) < limit_sq) return false;
   }
   return true;
 }
+
+/// Per-thread scratch arena, reused across every node a worker processes.
+/// Holds the sorted candidate cache, the per-slot emptiness thresholds
+/// (structure-of-arrays buffers), and the two-hop gather buffers of the
+/// oracle detector. Steady state performs no allocations; contents never
+/// influence results (everything is rebuilt per node), so detection output
+/// is independent of how nodes are distributed over threads.
+struct UbfScratch {
+  geom::CandidateCache cache;
+  std::vector<double> lim_sq;        // per-slot threshold; < 0 disables
+  std::vector<Vec3> gather;          // oracle detector: member coordinates
+  std::vector<std::uint32_t> stamp;  // oracle detector: epoch-mark dedup
+  std::uint32_t epoch = 0;
+};
+
+UbfScratch& local_scratch() {
+  static thread_local UbfScratch scratch;
+  return scratch;
+}
+
+/// The optimized Algorithm 1 pair sweep. Enumerates empty candidate balls
+/// in exactly the order the naive double loop finds them; every shortcut
+/// below is provably outcome-neutral, so classification stays bit-identical
+/// to the naive kernel (tests/ubf_oracle_test.cpp):
+///
+///   - **Pair pruning**: a sphere of radius r through two points farther
+///     apart than 2r does not exist (circumradius > r), so such pairs are
+///     skipped before the Eq. 1 solve. The 1e-9 relative slack keeps the
+///     prune strictly conservative against rounding: only pairs whose
+///     solve provably returns zero centers are dropped.
+///   - **Nearest-first scans with a distance cutoff**: members are walked
+///     in ascending distance-to-self order; since |u−c| >= |u−self| −
+///     |self−c|, once a member is beyond |self−c| + limit (+slack) no later
+///     member can be strictly inside, and the scan stops.
+///   - **Blocker memoization**: consecutive candidate balls overlap
+///     heavily, so the member that blocked the previous ball is re-tested
+///     first. Checking any one member first cannot change the emptiness
+///     conjunction.
+///   - **Witness masking**: the pair's own witnesses are excluded from the
+///     scan by setting their slot threshold to −1 (no distance is below
+///     it) instead of branching on indices in the inner loop.
+class BallSweep {
+ public:
+  /// What the `on_empty(j, k)` callback tells the sweep to do next.
+  enum class Step {
+    kContinue,  // keep testing this pair's remaining candidate ball
+    kNextPair,  // done with this pair, move to the next
+    kStop,      // abort the whole sweep
+  };
+
+  BallSweep(const std::vector<Vec3>& coords, std::size_t self_index,
+            std::size_t witness_count, double radius,
+            UnitBallFitting::InsideLimits limits, UbfScratch& scratch)
+      : coords_(coords),
+        self_(coords[self_index]),
+        self_index_(self_index),
+        witness_count_(witness_count),
+        radius_(radius),
+        scratch_(scratch) {
+    scratch.cache.rebuild(coords, self_index);
+    const std::size_t n = scratch.cache.size();
+    scratch.lim_sq.resize(n);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      scratch.lim_sq[slot] =
+          scratch.cache.original_index(slot) < witness_count
+              ? limits.one_hop_sq
+              : limits.two_hop_sq;
+    }
+    // two_hop_sq <= one_hop_sq by construction (see inside_limits).
+    lim_max_ = std::sqrt(limits.one_hop_sq);
+    pair_prune_sq_ = 4.0 * radius * radius * (1.0 + 1e-9);
+    cutoff_slack_ = 1e-9 * radius;
+  }
+
+  /// Runs the sweep, accumulating work counts into `diag` and invoking
+  /// `on_empty(j, k)` for every empty candidate ball, in naive order.
+  template <typename Fn>
+  void run(UbfNodeDiagnostics& diag, Fn&& on_empty) {
+    const geom::CandidateCache& cache = scratch_.cache;
+    std::vector<double>& lim = scratch_.lim_sq;
+    const double* dist_sq = cache.dist_sq();
+    bool stop = false;
+    for (std::size_t j = 0; j < witness_count_ && !stop; ++j) {
+      if (j == self_index_) continue;
+      const std::uint32_t sj = cache.slot_of(j);
+      if (dist_sq[sj] > pair_prune_sq_) continue;
+      const Vec3& pj = coords_[j];
+      const double save_j = lim[sj];
+      lim[sj] = -1.0;  // witness of every ball in this j-iteration
+      for (std::size_t k = j + 1; k < witness_count_ && !stop; ++k) {
+        if (k == self_index_) continue;
+        const std::uint32_t sk = cache.slot_of(k);
+        if (dist_sq[sk] > pair_prune_sq_) continue;
+        const Vec3& pk = coords_[k];
+        if (pj.distance_sq_to(pk) > pair_prune_sq_) continue;
+        const geom::TrisphereResult balls =
+            geom::solve_trisphere(self_, pj, pk, radius_);
+        if (balls.count == 0) continue;
+        const double save_k = lim[sk];
+        lim[sk] = -1.0;
+        for (int c = 0; c < balls.count; ++c) {
+          ++diag.balls_tested;
+          if (!ball_empty(balls.centers[c], diag)) continue;
+          ++diag.empty_balls;
+          const Step step = on_empty(j, k);
+          if (step == Step::kNextPair) break;
+          if (step == Step::kStop) {
+            stop = true;
+            break;
+          }
+        }
+        lim[sk] = save_k;
+      }
+      lim[sj] = save_j;
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = geom::CandidateCache::kNoSlot;
+
+  bool ball_empty(const Vec3& center, UbfNodeDiagnostics& diag) {
+    const geom::CandidateCache& cache = scratch_.cache;
+    const double* lim = scratch_.lim_sq.data();
+    // Blocker memoization. A masked witness slot holds threshold −1 and
+    // thus can never (re-)block here.
+    if (last_blocker_ != kNoSlot) {
+      ++diag.nodes_checked;
+      if (cache.dist_sq_to(last_blocker_, center) < lim[last_blocker_]) {
+        return false;
+      }
+    }
+    const std::size_t n = cache.size();
+    const double* xs = cache.xs();
+    const double* ys = cache.ys();
+    const double* zs = cache.zs();
+    const double* dist_sq = cache.dist_sq();
+    // |self − center| is r up to solver rounding; compute it instead of
+    // assuming, so the cutoff is sound for every center the solver emits.
+    const double center_dist = std::sqrt(self_.distance_sq_to(center));
+    const double cutoff = center_dist + lim_max_ + cutoff_slack_;
+    const double cutoff_sq = cutoff * cutoff;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (dist_sq[s] >= cutoff_sq) break;  // sorted: nobody farther blocks
+      const double dx = xs[s] - center.x;
+      const double dy = ys[s] - center.y;
+      const double dz = zs[s] - center.z;
+      const double d2 = dx * dx + dy * dy + dz * dz;
+      ++diag.nodes_checked;
+      if (d2 < lim[s]) {
+        last_blocker_ = static_cast<std::uint32_t>(s);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<Vec3>& coords_;
+  const Vec3 self_;
+  const std::size_t self_index_;
+  const std::size_t witness_count_;
+  const double radius_;
+  UbfScratch& scratch_;
+  double lim_max_ = 0.0;
+  double pair_prune_sq_ = 0.0;
+  double cutoff_slack_ = 0.0;
+  std::uint32_t last_blocker_ = kNoSlot;
+};
 
 }  // namespace
 
@@ -85,37 +252,23 @@ bool UnitBallFitting::test_node(const std::vector<Vec3>& coords,
   BALLFIT_REQUIRE(self_index < coords.size(), "self index out of range");
   BALLFIT_REQUIRE(witness_count <= coords.size(),
                   "witness count exceeds member count");
-  const Vec3& self = coords[self_index];
   const InsideLimits limits = inside_limits(coord_uncertainty);
 
   UbfNodeDiagnostics local;
-
   // Algorithm 1, lines 4–9: every unordered pair {j,k} of one-hop members
   // spawns up to two candidate balls; each ball is checked for emptiness
   // against the full member set (one- or two-hop view per config).
-  for (std::size_t j = 0; j < witness_count; ++j) {
-    if (j == self_index) continue;
-    for (std::size_t k = j + 1; k < witness_count; ++k) {
-      if (k == self_index) continue;
-      const geom::TrisphereResult balls =
-          geom::solve_trisphere(self, coords[j], coords[k], radius_);
-      for (int c = 0; c < balls.count; ++c) {
-        ++local.balls_tested;
-        if (ball_is_empty(coords, balls.centers[c], self_index, j, k,
-                          witness_count, limits.one_hop_sq, limits.two_hop_sq,
-                          &local.nodes_checked)) {
-          ++local.empty_balls;
-          if (local.empty_balls >= config_.min_empty_balls) {
-            local.found_empty_ball = true;
-            if (diag != nullptr) *diag = local;
-            return true;
-          }
-        }
-      }
+  BallSweep sweep(coords, self_index, witness_count, radius_, limits,
+                  local_scratch());
+  sweep.run(local, [&](std::size_t, std::size_t) {
+    if (local.empty_balls >= config_.min_empty_balls) {
+      local.found_empty_ball = true;
+      return BallSweep::Step::kStop;
     }
-  }
+    return BallSweep::Step::kContinue;
+  });
   if (diag != nullptr) *diag = local;
-  return false;
+  return local.found_empty_ball;
 }
 
 std::vector<std::pair<std::size_t, std::size_t>>
@@ -126,29 +279,21 @@ UnitBallFitting::collect_empty_balls(const std::vector<Vec3>& coords,
                                      double coord_uncertainty,
                                      UbfNodeDiagnostics* diag) const {
   BALLFIT_REQUIRE(self_index < coords.size(), "self index out of range");
-  const Vec3& self = coords[self_index];
-  const InsideLimits limits = inside_limits(coord_uncertainty);
-
+  BALLFIT_REQUIRE(witness_count <= coords.size(),
+                  "witness count exceeds member count");
   UbfNodeDiagnostics local;
   std::vector<std::pair<std::size_t, std::size_t>> out;
-  for (std::size_t j = 0; j < witness_count && out.size() < max_balls; ++j) {
-    if (j == self_index) continue;
-    for (std::size_t k = j + 1; k < witness_count && out.size() < max_balls;
-         ++k) {
-      if (k == self_index) continue;
-      const geom::TrisphereResult balls =
-          geom::solve_trisphere(self, coords[j], coords[k], radius_);
-      for (int c = 0; c < balls.count; ++c) {
-        ++local.balls_tested;
-        if (ball_is_empty(coords, balls.centers[c], self_index, j, k,
-                          witness_count, limits.one_hop_sq, limits.two_hop_sq,
-                          &local.nodes_checked)) {
-          ++local.empty_balls;
-          out.push_back({j, k});
-          break;  // one empty side per witness pair is enough
-        }
-      }
-    }
+  if (max_balls > 0) {
+    const InsideLimits limits = inside_limits(coord_uncertainty);
+    BallSweep sweep(coords, self_index, witness_count, radius_, limits,
+                    local_scratch());
+    sweep.run(local, [&](std::size_t j, std::size_t k) {
+      out.push_back({j, k});
+      // One empty side per witness pair is enough; stop outright at the
+      // collection cap.
+      return out.size() >= max_balls ? BallSweep::Step::kStop
+                                     : BallSweep::Step::kNextPair;
+    });
   }
   local.found_empty_ball = !out.empty();
   if (diag != nullptr) *diag = local;
@@ -312,12 +457,32 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
   }
   std::vector<bool> boundary(n, false);
   std::size_t fallbacks = 0;
-  std::vector<Vec3> coords;
+
+  // Scratch-arena membership gather: `stamp` epoch-marks seen nodes (the
+  // allocation-free equivalent of a per-node unordered_set) and `gather`
+  // reuses its capacity across nodes. Member order is identical to the
+  // naive gather, though emptiness is order-independent anyway.
+  UbfScratch& scratch = local_scratch();
+  std::vector<Vec3>& coords = scratch.gather;
+  std::vector<std::uint32_t>& stamp = scratch.stamp;
+  if (stamp.size() != n) {
+    stamp.assign(n, 0);
+    scratch.epoch = 0;
+  }
+
   for (NodeId i = 0; i < n; ++i) {
+    if (++scratch.epoch == 0) {  // epoch wrap: reset marks once per 2³² nodes
+      std::fill(stamp.begin(), stamp.end(), 0);
+      scratch.epoch = 1;
+    }
+    const std::uint32_t epoch = scratch.epoch;
     coords.clear();
     coords.push_back(network_->position(i));
-    for (NodeId v : network_->neighbors(i))
+    stamp[i] = epoch;
+    for (NodeId v : network_->neighbors(i)) {
       coords.push_back(network_->position(v));
+      stamp[v] = epoch;
+    }
     const std::size_t witness_count = coords.size();
     if (witness_count < 4) {
       boundary[i] = config_.degenerate_is_boundary;
@@ -327,12 +492,12 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
     if (two_hop) {
       // Exact two-hop membership: neighbors of neighbors, minus the
       // one-hop set and i itself, deduplicated.
-      const auto nb = network_->neighbors(i);
-      std::unordered_set<NodeId> seen(nb.begin(), nb.end());
-      seen.insert(i);
-      for (NodeId j : nb) {
+      for (NodeId j : network_->neighbors(i)) {
         for (NodeId u : network_->neighbors(j)) {
-          if (seen.insert(u).second) coords.push_back(network_->position(u));
+          if (stamp[u] != epoch) {
+            stamp[u] = epoch;
+            coords.push_back(network_->position(u));
+          }
         }
       }
     }

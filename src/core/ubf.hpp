@@ -8,6 +8,14 @@
 /// touching i. By Lemma 1 it suffices to test the balls determined by i and
 /// two of its neighbors (Eq. 1 / `solve_trisphere`), checking emptiness
 /// against the one-hop neighborhood — Θ(ρ²) balls × Θ(ρ) nodes each.
+///
+/// The kernel implementation is optimized (sorted candidate cache, pair
+/// pruning, blocker memoization, per-thread scratch arena — see ubf.cpp)
+/// but **classification-exact**: every optimization only skips work whose
+/// outcome is provably determined, so `test_node`, `collect_empty_balls`,
+/// and both detectors return bit-identical results to the naive
+/// Algorithm 1 double loop (tests/ubf_oracle_test.cpp asserts this), and
+/// results are independent of the worker thread count.
 
 #include <vector>
 
@@ -91,10 +99,20 @@ struct UbfConfig {
   EmptinessScope scope = EmptinessScope::kTwoHop;
 };
 
+/// Per-node work counters (Theorem 1's Θ(ρ³) in the wild).
 struct UbfNodeDiagnostics {
+  /// Candidate balls whose emptiness was evaluated (count, default 0).
+  /// Pair pruning never changes this: pruned pairs are exactly those whose
+  /// trisphere solve would have produced zero balls.
   std::size_t balls_tested = 0;
+  /// Member distance checks performed across all emptiness scans (count).
+  /// This is where the optimized kernel wins: nearest-first ordering,
+  /// the sorted-distance cutoff, and blocker memoization shrink it far
+  /// below the naive balls × members product.
   std::size_t nodes_checked = 0;
+  /// Empty candidate balls found before the sweep stopped (count).
   std::size_t empty_balls = 0;
+  /// True when the vote threshold (`UbfConfig::min_empty_balls`) was met.
   bool found_empty_ball = false;
 };
 
@@ -165,15 +183,22 @@ class UnitBallFitting {
 
   const UbfConfig& config() const { return config_; }
 
- private:
+  /// Squared "strictly inside" thresholds (absolute units²): a member at
+  /// squared distance d² from a candidate center blocks the ball iff
+  /// d² < one_hop_sq (one-hop members) or d² < two_hop_sq (imported
+  /// two-hop members; always <= one_hop_sq). Public so reference
+  /// implementations (oracle tests, baselines) can reproduce the exact
+  /// emptiness predicate.
   struct InsideLimits {
     double one_hop_sq;
     double two_hop_sq;
   };
-  /// Squared "strictly inside" thresholds for one-hop and two-hop members
-  /// at a given coordinate uncertainty (see the margin discussion above).
+  /// The thresholds at a given per-coordinate uncertainty (absolute units;
+  /// negative derives it from `measurement_error_hint` — see the margin
+  /// discussion above).
   InsideLimits inside_limits(double coord_uncertainty) const;
 
+ private:
   const net::Network* network_;
   UbfConfig config_;
   double radius_;

@@ -1,0 +1,47 @@
+#include "geom/candidate_cache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ballfit::geom {
+
+void CandidateCache::rebuild(const std::vector<Vec3>& points,
+                             std::size_t focus) {
+  BALLFIT_REQUIRE(focus < points.size(),
+                  "CandidateCache focus out of range");
+  const std::size_t n = points.size();
+  const Vec3& f = points[focus];
+
+  // Contiguous (dist², index) keys sort markedly faster than an indirect
+  // index sort chasing a side array. Pair comparison orders by distance
+  // first, index second — the deterministic tie-break for free.
+  sort_keys_.clear();
+  sort_keys_.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == focus) continue;
+    sort_keys_.emplace_back(points[i].distance_sq_to(f),
+                            static_cast<std::uint32_t>(i));
+  }
+  std::sort(sort_keys_.begin(), sort_keys_.end());
+
+  const std::size_t m = sort_keys_.size();
+  xs_.resize(m);
+  ys_.resize(m);
+  zs_.resize(m);
+  dist_sq_.resize(m);
+  orig_.resize(m);
+  slot_of_.assign(n, kNoSlot);
+  for (std::size_t slot = 0; slot < m; ++slot) {
+    const auto& [d2, i] = sort_keys_[slot];
+    const Vec3& p = points[i];
+    xs_[slot] = p.x;
+    ys_[slot] = p.y;
+    zs_[slot] = p.z;
+    dist_sq_[slot] = d2;
+    orig_[slot] = i;
+    slot_of_[i] = static_cast<std::uint32_t>(slot);
+  }
+}
+
+}  // namespace ballfit::geom

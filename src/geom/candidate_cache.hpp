@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file candidate_cache.hpp
+/// Per-node sorted-by-distance candidate cache for repeated ball-emptiness
+/// scans against one fixed point set.
+///
+/// The Unit Ball Fitting kernel tests Θ(ρ²) candidate balls per node, and
+/// every test scans the same member set. This cache is rebuilt once per
+/// node and then read Θ(ρ²) times: it stores the members (minus the focus
+/// point itself) in structure-of-arrays layout, sorted ascending by
+/// distance to the focus. The sort order buys two things:
+///
+///   - **Nearest-first scans**: a scan that walks slots in order checks the
+///     members most likely to block a candidate ball first.
+///   - **A sound tail cutoff**: every candidate ball center c satisfies
+///     |c − focus| = r, so a member u can only lie within `limit` of c when
+///     |u − focus| < |c − focus| + limit. Once a slot's distance passes
+///     that bound, no later slot can either — the scan stops.
+///
+/// The cache is designed to live in a per-thread scratch arena: `rebuild`
+/// reuses the previous capacity, so steady-state operation performs no
+/// allocations.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace ballfit::geom {
+
+class CandidateCache {
+ public:
+  /// Sentinel returned by `slot_of` for the focus point (which has no slot).
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Rebuilds the cache over `points`, excluding `points[focus]`. Slots are
+  /// sorted ascending by squared distance to the focus, ties broken by
+  /// original index, so the layout is deterministic.
+  void rebuild(const std::vector<Vec3>& points, std::size_t focus);
+
+  /// Number of cached candidates (`points.size() - 1`).
+  std::size_t size() const { return xs_.size(); }
+
+  /// SoA coordinate arrays, indexed by slot.
+  const double* xs() const { return xs_.data(); }
+  const double* ys() const { return ys_.data(); }
+  const double* zs() const { return zs_.data(); }
+
+  /// Squared distance of each slot to the focus, ascending.
+  const double* dist_sq() const { return dist_sq_.data(); }
+
+  /// Original point index of a slot.
+  std::uint32_t original_index(std::size_t slot) const { return orig_[slot]; }
+
+  /// Slot of original point index `i`; `kNoSlot` for the focus.
+  std::uint32_t slot_of(std::size_t i) const { return slot_of_[i]; }
+
+  /// Squared distance from the slot's point to `q`.
+  double dist_sq_to(std::size_t slot, const Vec3& q) const {
+    const double dx = xs_[slot] - q.x;
+    const double dy = ys_[slot] - q.y;
+    const double dz = zs_[slot] - q.z;
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+ private:
+  std::vector<double> xs_, ys_, zs_, dist_sq_;
+  std::vector<std::uint32_t> orig_;     // slot -> original index
+  std::vector<std::uint32_t> slot_of_;  // original index -> slot
+  std::vector<std::pair<double, std::uint32_t>> sort_keys_;  // rebuild temp
+};
+
+}  // namespace ballfit::geom

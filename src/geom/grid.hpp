@@ -31,6 +31,19 @@ class SpatialGrid {
   /// Visits all points within `radius` of `q` without allocating.
   template <typename Fn>
   void for_each_in_radius(const Vec3& q, double radius, Fn&& fn) const {
+    for_each_in_ball(q, radius, [&](std::uint32_t idx) {
+      fn(idx);
+      return true;
+    });
+  }
+
+  /// Radius-bounded visitor with early exit: visits points p with
+  /// |p − q| <= radius until `fn(idx)` returns false. Returns false iff a
+  /// visit stopped the walk (i.e. the ball is known non-empty to the
+  /// caller), true when every point in the ball was visited. No temporary
+  /// vectors — this is the hot-path form of `query_radius`.
+  template <typename Fn>
+  bool for_each_in_ball(const Vec3& q, double radius, Fn&& fn) const {
     const double r2 = radius * radius;
     const CellKey lo = key_for(q - Vec3{radius, radius, radius});
     const CellKey hi = key_for(q + Vec3{radius, radius, radius});
@@ -40,9 +53,12 @@ class SpatialGrid {
           auto it = cells_.find(hash_key({cx, cy, cz}));
           if (it == cells_.end()) continue;
           for (std::uint32_t idx : it->second) {
-            if ((*points_)[idx].distance_sq_to(q) <= r2) fn(idx);
+            if ((*points_)[idx].distance_sq_to(q) <= r2 && !fn(idx)) {
+              return false;
+            }
           }
         }
+    return true;
   }
 
   /// Index of the nearest point to `q`, or -1 when the grid is empty.

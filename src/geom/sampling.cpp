@@ -58,10 +58,11 @@ std::vector<Vec3> poisson_thin(Rng& rng, std::vector<Vec3> points,
   std::vector<bool> kept(points.size(), false);
   std::vector<Vec3> survivors;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    bool conflict = false;
-    grid.for_each_in_radius(points[i], min_dist, [&](std::uint32_t j) {
-      if (j < i && kept[j]) conflict = true;
-    });
+    // Early-exit visitor: the first kept conflict settles the point, so
+    // the rest of the neighborhood never needs to be walked.
+    const bool conflict = !grid.for_each_in_ball(
+        points[i], min_dist,
+        [&](std::uint32_t j) { return !(j < i && kept[j]); });
     if (!conflict) {
       kept[i] = true;
       survivors.push_back(points[i]);

@@ -36,19 +36,32 @@ TrisphereResult solve_trisphere(const Vec3& a, const Vec3& b, const Vec3& d,
                                 double r, double tol) {
   TrisphereResult result;
 
-  Vec3 cc, n;
-  double R = 0.0;
-  if (!triangle_circumcircle(a, b, d, cc, R, n, tol)) {
+  // Same math as triangle_circumcircle, but kept in squared form: the UBF
+  // kernel calls this Θ(ρ²) times per node, and the general helper pays
+  // three square roots (radius, unit normal, mirror offset) where one
+  // suffices — the centers only ever need n · sqrt((r² − R²)/|n|²).
+  const Vec3 ab = b - a;
+  const Vec3 ad = d - a;
+  const Vec3 n = ab.cross(ad);
+  const double n2 = n.norm_sq();
+  const double edge_scale =
+      std::max({ab.norm_sq(), ad.norm_sq(), (b - d).norm_sq()});
+  if (n2 <= tol * tol * edge_scale * edge_scale || edge_scale == 0.0) {
     result.status = TrisphereResult::Status::kCollinear;
     return result;
   }
+  const Vec3 rel =
+      (n.cross(ab) * ad.norm_sq() + ad.cross(n) * ab.norm_sq()) / (2.0 * n2);
+  const double R2 = rel.norm_sq();
 
-  // Tangent band: R within tol·r of r (on either side) collapses the two
-  // mirrored centers into one in-plane center. Beyond it on the high side
-  // there is no fitting sphere.
-  if (R >= r * (1.0 - tol)) {
-    if (R <= r * (1.0 + tol)) {
-      result.centers[0] = cc;
+  // Tangent band: circumradius R within tol·r of r (on either side)
+  // collapses the two mirrored centers into one in-plane center. Beyond it
+  // on the high side there is no fitting sphere.
+  const double lo = r * (1.0 - tol);
+  if (R2 >= lo * lo) {
+    const double hi = r * (1.0 + tol);
+    if (R2 <= hi * hi) {
+      result.centers[0] = a + rel;
       result.count = 1;
       result.status = TrisphereResult::Status::kOneCenter;
       return result;
@@ -57,10 +70,10 @@ TrisphereResult solve_trisphere(const Vec3& a, const Vec3& b, const Vec3& d,
     return result;
   }
 
-  const double h = std::sqrt(std::max(0.0, r * r - R * R));
-
-  result.centers[0] = cc + n * h;
-  result.centers[1] = cc - n * h;
+  const Vec3 cc = a + rel;
+  const Vec3 off = n * std::sqrt(std::max(0.0, (r * r - R2) / n2));
+  result.centers[0] = cc + off;
+  result.centers[1] = cc - off;
   result.count = 2;
   result.status = TrisphereResult::Status::kTwoCenters;
   return result;

@@ -37,7 +37,7 @@ namespace ballfit::sim {
 
 /// Cumulative cost counters for a protocol run.
 struct RunStats {
-  std::size_t rounds = 0;
+  std::size_t rounds = 0;      ///< synchronous rounds executed
   std::size_t messages = 0;    ///< radio transmissions
   std::size_t dropped = 0;     ///< fault-injected losses (deliveries lost)
   std::size_t duplicated = 0;  ///< fault-injected duplicate deliveries

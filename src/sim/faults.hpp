@@ -42,16 +42,21 @@
 namespace ballfit::sim {
 
 struct FaultConfig {
-  /// Independent loss probability applied to every delivery.
+  /// Independent loss probability applied to every delivery, in [0, 1]
+  /// (default 0 = reliable).
   double drop_probability = 0.0;
-  /// Upper bound of the per-directed-link extra loss probability; each
-  /// link's value is fixed (hashed from the seed) for the whole run.
+  /// Upper bound of the per-directed-link extra loss probability, in
+  /// [0, 1] (default 0); each link's value is fixed (hashed from the
+  /// seed) for the whole run.
   double link_loss_max = 0.0;
-  /// Probability that a delivered message is delivered a second time.
+  /// Probability that a delivered message is delivered a second time, in
+  /// [0, 1] (default 0). Handlers must be idempotent when > 0.
   double duplicate_probability = 0.0;
-  /// Fraction of nodes crashed before round 0 (drawn per node).
+  /// Fraction of nodes crashed before round 0, in [0, 1] (default 0;
+  /// drawn per node).
   double crash_fraction = 0.0;
-  /// Per-node, per-round crash probability for nodes still alive.
+  /// Per-node, per-round crash probability for nodes still alive, in
+  /// [0, 1] (default 0).
   double crash_probability = 0.0;
   /// Scheduled crashes: (node, global round) — the node is down from the
   /// start of that round on. Round indices are global across every engine
@@ -77,6 +82,17 @@ struct FaultStats {
   std::size_t crashed = 0;     ///< nodes currently down
 };
 
+/// Determinism contract: a FaultModel is a pure function of its
+/// (config, num_nodes) constructor arguments and the *sequence* of method
+/// calls made on it. Two runs that construct equal models and invoke
+/// `advance_round` / `deliver` / `duplicate` in the same order make
+/// identical decisions — there is no hidden entropy (wall clock, address
+/// hashing, global state). The flip side: callers must themselves iterate
+/// deterministically (the RoundEngine drains its queues in node order),
+/// because reordering `deliver` calls consumes the RNG stream differently.
+/// Exception: `link_loss` is stateless (hashed from seed + link), so its
+/// value never depends on call order. All methods are single-threaded,
+/// like the engine itself.
 class FaultModel {
  public:
   FaultModel(FaultConfig config, std::size_t num_nodes);

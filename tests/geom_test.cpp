@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "geom/aabb.hpp"
+#include "geom/candidate_cache.hpp"
 #include "geom/grid.hpp"
 #include "geom/sampling.hpp"
 #include "geom/trisphere.hpp"
@@ -220,6 +221,99 @@ TEST(SpatialGrid, EmptyGridNearestReturnsMinusOne) {
   std::vector<Vec3> pts;
   const SpatialGrid grid(pts, 1.0);
   EXPECT_EQ(grid.nearest({0, 0, 0}), -1);
+}
+
+TEST(SpatialGrid, ForEachInBallVisitsExactlyTheBall) {
+  Rng rng(23);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 400; ++i)
+    pts.push_back(sample_in_box(rng, {{0, 0, 0}, {8, 8, 8}}));
+  const SpatialGrid grid(pts, 1.0);
+  for (int q = 0; q < 40; ++q) {
+    const Vec3 query = sample_in_box(rng, {{0, 0, 0}, {8, 8, 8}});
+    const double radius = rng.uniform(0.2, 2.5);
+    std::vector<std::uint32_t> got;
+    const bool completed = grid.for_each_in_ball(query, radius,
+                                                 [&](std::uint32_t i) {
+                                                   got.push_back(i);
+                                                   return true;
+                                                 });
+    EXPECT_TRUE(completed);
+    std::sort(got.begin(), got.end());
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < pts.size(); ++i)
+      if (pts[i].distance_to(query) <= radius) want.push_back(i);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(SpatialGrid, ForEachInBallStopsWhenVisitorReturnsFalse) {
+  Rng rng(24);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back(sample_in_ball(rng, {0, 0, 0}, 1.0));
+  const SpatialGrid grid(pts, 0.5);
+  int visits = 0;
+  const bool completed = grid.for_each_in_ball({0, 0, 0}, 2.0,
+                                               [&](std::uint32_t) {
+                                                 ++visits;
+                                                 return false;  // stop now
+                                               });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 1);
+}
+
+// --- CandidateCache ---------------------------------------------------------
+
+TEST(CandidateCache, SortedAscendingAndIndexMapsAreConsistent) {
+  Rng rng(25);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 120; ++i)
+    pts.push_back(sample_in_ball(rng, {0, 0, 0}, 2.0));
+  const std::size_t focus = 17;
+
+  CandidateCache cache;
+  cache.rebuild(pts, focus);
+  ASSERT_EQ(cache.size(), pts.size() - 1);
+  EXPECT_EQ(cache.slot_of(focus), CandidateCache::kNoSlot);
+
+  for (std::size_t s = 0; s < cache.size(); ++s) {
+    if (s > 0) {
+      EXPECT_LE(cache.dist_sq()[s - 1], cache.dist_sq()[s]);
+    }
+    const std::uint32_t orig = cache.original_index(s);
+    EXPECT_NE(orig, focus);
+    EXPECT_EQ(cache.slot_of(orig), s);
+    // SoA coordinates and the cached distance match the source points.
+    EXPECT_DOUBLE_EQ(cache.xs()[s], pts[orig].x);
+    EXPECT_DOUBLE_EQ(cache.ys()[s], pts[orig].y);
+    EXPECT_DOUBLE_EQ(cache.zs()[s], pts[orig].z);
+    EXPECT_DOUBLE_EQ(cache.dist_sq()[s],
+                     pts[orig].distance_sq_to(pts[focus]));
+    // dist_sq_to agrees bit-for-bit with Vec3::distance_sq_to — required
+    // for the kernel's exact-compare emptiness contract.
+    const Vec3 q{0.3, -0.7, 1.1};
+    EXPECT_EQ(cache.dist_sq_to(s, q), pts[orig].distance_sq_to(q));
+  }
+}
+
+TEST(CandidateCache, RebuildReusesCleanly) {
+  Rng rng(26);
+  std::vector<Vec3> big, small;
+  for (int i = 0; i < 80; ++i) big.push_back(sample_in_ball(rng, {0, 0, 0}, 1.0));
+  for (int i = 0; i < 10; ++i)
+    small.push_back(sample_in_ball(rng, {5, 5, 5}, 1.0));
+
+  CandidateCache cache;
+  cache.rebuild(big, 0);
+  EXPECT_EQ(cache.size(), big.size() - 1);
+  cache.rebuild(small, 3);  // shrink: stale state must not leak
+  ASSERT_EQ(cache.size(), small.size() - 1);
+  for (std::size_t s = 0; s < cache.size(); ++s) {
+    const std::uint32_t orig = cache.original_index(s);
+    ASSERT_LT(orig, small.size());
+    EXPECT_DOUBLE_EQ(cache.xs()[s], small[orig].x);
+  }
 }
 
 // --- Sampling ----------------------------------------------------------------
