@@ -1,25 +1,35 @@
 /// \file bench_compare.cpp
-/// Perf-regression gate for the UBF hot kernel.
+/// Perf-regression gate for the hot kernels.
 ///
-/// Times `UnitBallFitting::detect_with_true_coordinates` — the pure,
-/// single-threaded Algorithm 1 kernel, free of localization noise — on the
-/// Fig. 1 scenario, writes a machine-readable record, and (with
-/// `--against`) compares the measured wall time to a committed baseline:
+/// Times two single-threaded kernels on the Fig. 1 scenario, writes one
+/// machine-readable record per kernel, and (with `--against`) compares each
+/// measured wall time to a committed baseline:
 ///
-///   bench_compare --out BENCH_$(git rev-parse --short=12 HEAD).json \
+///   - `ubf.true_coords` — `detect_with_true_coordinates`, the pure
+///     Algorithm 1 kernel free of localization noise.
+///   - `pipeline.local_frames` — the per-node MDS-MAP frame build of the
+///     noisy-coordinates pipeline (the headline workload's dominant cost),
+///     at a reduced scale so a rep stays under ~2 s.
+///
+///   bench_compare --out BENCH_$(git rev-parse --short=12 HEAD).json
 ///                 --against bench/baselines/BENCH_<sha>.json
 ///
-/// Exit status 1 when the kernel regressed more than `--threshold`
-/// (default 0.15 = 15%) against the baseline's best time, or when the
+/// Exit status 1 when any kernel regressed more than `--threshold`
+/// (default 0.15 = 15%) against the baseline's best time, or when its
 /// boundary classification diverges from the baseline (the optimization
-/// contract is bit-identical output — a count drift is a correctness
-/// regression, not a perf one). See EXPERIMENTS.md, "Performance
-/// regression tracking" for the schema, the threshold rationale, and how
-/// to refresh the baseline after an intentional change.
+/// contract is classification-preserving output — a count drift is a
+/// correctness regression, not a perf one). A kernel missing from the
+/// baseline (e.g. an old v1 file, which carried only `ubf.true_coords`)
+/// is reported and skipped. See EXPERIMENTS.md, "Performance regression
+/// tracking" for the schema, the threshold rationale, and how to refresh
+/// the baseline after an intentional change.
 ///
-/// Flags: --scale S (default 1.0) --reps N (default 7) --out PATH
-///        --against PATH --threshold F
+/// Flags: --scale S (default 1.0)  --reps N (default 7)
+///        --frames-scale S (default 0.35)  --frames-reps N (default 3)
+///        --frames-error E (default 0.2)
+///        --out PATH  --against PATH  --threshold F
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -30,7 +40,9 @@
 #include "bench_util.hpp"
 #include "common/buildinfo.hpp"
 #include "core/ubf.hpp"
+#include "localization/local_frame.hpp"
 #include "model/zoo.hpp"
+#include "net/measurement.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -39,26 +51,132 @@ using ballfit::bench::double_flag;
 using ballfit::bench::int_flag;
 using ballfit::bench::string_flag;
 
+using Clock = std::chrono::steady_clock;
+
+/// One timed kernel's results plus the scenario it ran on.
+struct KernelRecord {
+  std::string name;
+  std::string scenario_name;
+  double scale = 0.0;
+  std::size_t nodes = 0;
+  double avg_degree = 0.0;
+  int reps = 0;
+  double best_ms = 0.0;
+  double mean_ms = 0.0;
+  std::size_t boundary_nodes = 0;
+};
+
 /// Minimal field extraction from a baseline file. The repo has a JSON
 /// writer but no parser; the baseline schema is flat and produced by this
 /// very tool, so scanning for `"key":` is adequate and keeps the bench
-/// dependency-free. Returns false when the key is absent.
+/// dependency-free. `from` scopes the scan to one kernel's object: pass
+/// the position of its `"name":"..."` match so the first key found is that
+/// kernel's own (each kernel object begins with its name field). Returns
+/// false when the key is absent.
 bool extract_number(const std::string& json, const std::string& key,
-                    double* out) {
+                    double* out, std::size_t from = 0) {
   const std::string needle = "\"" + key + "\":";
-  const std::size_t pos = json.find(needle);
+  const std::size_t pos = json.find(needle, from);
   if (pos == std::string::npos) return false;
   *out = std::atof(json.c_str() + pos + needle.size());
   return true;
 }
 
-std::string extract_string(const std::string& json, const std::string& key) {
+std::string extract_string(const std::string& json, const std::string& key,
+                           std::size_t from = 0) {
   const std::string needle = "\"" + key + "\":\"";
-  const std::size_t pos = json.find(needle);
+  const std::size_t pos = json.find(needle, from);
   if (pos == std::string::npos) return "";
   const std::size_t start = pos + needle.size();
   const std::size_t end = json.find('"', start);
   return json.substr(start, end - start);
+}
+
+double avg_degree_of(const ballfit::net::Network& network) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+    sum += static_cast<double>(network.degree(i));
+  }
+  return sum / static_cast<double>(network.num_nodes());
+}
+
+/// Compares one kernel record against the baseline text. Returns 0 when
+/// the kernel is within threshold and classification-stable, 1 on a
+/// regression or drift, and 0 (with a notice) when the baseline lacks the
+/// kernel — old baselines predate `pipeline.local_frames`.
+int gate_kernel(const KernelRecord& rec, const std::string& baseline,
+                const std::string& against, double threshold) {
+  const std::string name_needle = "\"name\":\"" + rec.name + "\"";
+  const std::size_t at = baseline.find(name_needle);
+  if (at == std::string::npos) {
+    std::printf("%s: not in baseline %s — skipping (refresh the baseline "
+                "to gate it)\n",
+                rec.name.c_str(), against.c_str());
+    return 0;
+  }
+  const std::string base_sha = extract_string(baseline, "git_sha");
+
+  double base_best = 0.0;
+  if (!extract_number(baseline, "best_ms", &base_best, at) ||
+      base_best <= 0.0) {
+    std::fprintf(stderr, "baseline %s has no usable best_ms for %s\n",
+                 against.c_str(), rec.name.c_str());
+    return 2;
+  }
+
+  // Bit-identity gate: same scenario + same seed must classify the same
+  // nodes as boundary in every build. A divergence means the kernel's
+  // *output* changed, which no amount of speed excuses.
+  double base_nodes = 0.0;
+  if (extract_number(baseline, "nodes", &base_nodes, at) &&
+      static_cast<std::size_t>(base_nodes) != rec.nodes) {
+    std::fprintf(stderr,
+                 "%s: baseline scenario mismatch: %zu nodes now vs %.0f in "
+                 "%s — not comparable, regenerate the baseline\n",
+                 rec.name.c_str(), rec.nodes, base_nodes, against.c_str());
+    return 2;
+  }
+  double base_boundary = 0.0;
+  if (extract_number(baseline, "boundary_nodes", &base_boundary, at) &&
+      static_cast<std::size_t>(base_boundary) != rec.boundary_nodes) {
+    std::fprintf(stderr,
+                 "CLASSIFICATION DRIFT: %s finds %zu boundary nodes now vs "
+                 "%.0f in baseline %s (%s)\n",
+                 rec.name.c_str(), rec.boundary_nodes, base_boundary,
+                 against.c_str(), base_sha.c_str());
+    return 1;
+  }
+
+  const double ratio = rec.best_ms / base_best;
+  std::printf("%s vs baseline %s (%s): %.2f ms -> %.2f ms (%+.1f%%)\n",
+              rec.name.c_str(), against.c_str(), base_sha.c_str(), base_best,
+              rec.best_ms, (ratio - 1.0) * 100.0);
+  if (ratio > 1.0 + threshold) {
+    std::fprintf(stderr, "REGRESSION: %s slowed by %.1f%% (threshold %.0f%%)\n",
+                 rec.name.c_str(), (ratio - 1.0) * 100.0, threshold * 100.0);
+    return 1;
+  }
+  std::printf("%s within threshold (%.0f%%)\n", rec.name.c_str(),
+              threshold * 100.0);
+  return 0;
+}
+
+void write_kernel(ballfit::obs::JsonWriter& w, const KernelRecord& rec) {
+  w.begin_object()
+      .field("name", rec.name)
+      .key("scenario")
+      .begin_object()
+      .field("name", rec.scenario_name)
+      .field("scale", rec.scale)
+      .field("seed", std::uint64_t{1})
+      .field("nodes", static_cast<std::uint64_t>(rec.nodes))
+      .field("avg_degree", rec.avg_degree)
+      .end_object()
+      .field("reps", static_cast<std::uint64_t>(rec.reps))
+      .field("best_ms", rec.best_ms)
+      .field("mean_ms", rec.mean_ms)
+      .field("boundary_nodes", static_cast<std::uint64_t>(rec.boundary_nodes))
+      .end_object();
 }
 
 }  // namespace
@@ -67,63 +185,107 @@ int main(int argc, char** argv) {
   using namespace ballfit;
   const double scale = double_flag(argc, argv, "--scale", 1.0);
   const int reps = int_flag(argc, argv, "--reps", 7);
+  const double frames_scale = double_flag(argc, argv, "--frames-scale", 0.35);
+  const int frames_reps = int_flag(argc, argv, "--frames-reps", 3);
+  const double frames_error = double_flag(argc, argv, "--frames-error", 0.2);
   const double threshold = double_flag(argc, argv, "--threshold", 0.15);
   const std::string sha = git_sha();
   const std::string out_path =
       string_flag(argc, argv, "--out", "BENCH_" + sha + ".json");
   const std::string against = string_flag(argc, argv, "--against", "");
 
-  const model::Scenario scenario = model::fig1_network(scale);
-  const net::Network network =
-      bench::build_scenario_network(scenario, /*seed=*/1, 18.8);
-  double avg_degree = 0.0;
-  for (std::size_t i = 0; i < network.num_nodes(); ++i) {
-    avg_degree += static_cast<double>(network.degree(i));
-  }
-  avg_degree /= static_cast<double>(network.num_nodes());
+  std::vector<KernelRecord> records;
 
-  const core::UnitBallFitting ubf(network);
-  using Clock = std::chrono::steady_clock;
-  double best_ms = 0.0, total_ms = 0.0;
-  std::size_t boundary_nodes = 0;
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto t0 = Clock::now();
-    const std::vector<bool> boundary = ubf.detect_with_true_coordinates();
-    const auto t1 = Clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    total_ms += ms;
-    if (rep == 0 || ms < best_ms) best_ms = ms;
-    boundary_nodes = 0;
-    for (const bool b : boundary) boundary_nodes += b;
-    std::printf("rep %d: %.2f ms (boundary=%zu)\n", rep, ms, boundary_nodes);
+  // Kernel 1: the oracle-mode Algorithm 1 sweep (bit-identical contract).
+  {
+    const model::Scenario scenario = model::fig1_network(scale);
+    const net::Network network =
+        bench::build_scenario_network(scenario, /*seed=*/1, 18.8);
+    const core::UnitBallFitting ubf(network);
+
+    KernelRecord rec;
+    rec.name = "ubf.true_coords";
+    rec.scenario_name = scenario.name;
+    rec.scale = scale;
+    rec.nodes = network.num_nodes();
+    rec.avg_degree = avg_degree_of(network);
+    rec.reps = reps;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = Clock::now();
+      const std::vector<bool> boundary = ubf.detect_with_true_coordinates();
+      const auto t1 = Clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      rec.mean_ms += ms;
+      if (rep == 0 || ms < rec.best_ms) rec.best_ms = ms;
+      rec.boundary_nodes = 0;
+      for (const bool b : boundary) rec.boundary_nodes += b;
+      std::printf("%s rep %d: %.2f ms (boundary=%zu)\n", rec.name.c_str(),
+                  rep, ms, rec.boundary_nodes);
+    }
+    rec.mean_ms /= reps;
+    std::printf("%s: best %.2f ms, mean %.2f ms over %d reps\n",
+                rec.name.c_str(), rec.best_ms, rec.mean_ms, rec.reps);
+    records.push_back(rec);
   }
-  const double mean_ms = total_ms / reps;
-  std::printf("ubf.true_coords: best %.2f ms, mean %.2f ms over %d reps\n",
-              best_ms, mean_ms, reps);
+
+  // Kernel 2: the noisy-coordinates localization stage — every node's
+  // MDS-MAP(P) two-hop frame, built single-threaded. This is where the
+  // headline pipeline (use_true_coordinates=false) spends most of its
+  // time. The boundary count comes from one untimed full detection pass
+  // over the same frames, as the classification-drift tripwire.
+  {
+    const model::Scenario scenario = model::fig1_network(frames_scale);
+    const net::Network network =
+        bench::build_scenario_network(scenario, /*seed=*/1, 18.8);
+    const net::NoisyDistanceModel model(network, frames_error, /*seed=*/1);
+    const localization::Localizer localizer(network, model);
+
+    KernelRecord rec;
+    rec.name = "pipeline.local_frames";
+    rec.scenario_name = scenario.name;
+    rec.scale = frames_scale;
+    rec.nodes = network.num_nodes();
+    rec.avg_degree = avg_degree_of(network);
+    rec.reps = frames_reps;
+    for (int rep = 0; rep < frames_reps; ++rep) {
+      const auto t0 = Clock::now();
+      double checksum = 0.0;  // keep the frame builds observable
+      for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+        const localization::LocalFrame frame =
+            localizer.mdsmap_frame(static_cast<net::NodeId>(i));
+        checksum += frame.stress_rms;
+      }
+      const auto t1 = Clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      rec.mean_ms += ms;
+      if (rep == 0 || ms < rec.best_ms) rec.best_ms = ms;
+      std::printf("%s rep %d: %.2f ms (stress checksum %.6f)\n",
+                  rec.name.c_str(), rep, ms, checksum);
+    }
+    rec.mean_ms /= frames_reps;
+
+    core::UbfConfig config;
+    config.measurement_error_hint = frames_error;
+    const core::UnitBallFitting ubf(network, config);
+    const std::vector<bool> boundary = ubf.detect(localizer, /*threads=*/1);
+    for (const bool b : boundary) rec.boundary_nodes += b;
+    std::printf("%s: best %.2f ms, mean %.2f ms over %d reps (boundary=%zu)\n",
+                rec.name.c_str(), rec.best_ms, rec.mean_ms, rec.reps,
+                rec.boundary_nodes);
+    records.push_back(rec);
+  }
 
   {
     obs::JsonWriter w;
     w.begin_object();
-    w.field("schema", "ballfit-bench-compare-v1");
+    w.field("schema", "ballfit-bench-compare-v2");
     w.field("git_sha", sha);
-    w.field("threads", std::uint64_t{1});  // kernel is timed single-threaded
-    w.key("scenario")
-        .begin_object()
-        .field("name", scenario.name)
-        .field("scale", scale)
-        .field("seed", std::uint64_t{1})
-        .field("nodes", static_cast<std::uint64_t>(network.num_nodes()))
-        .field("avg_degree", avg_degree)
-        .end_object();
-    w.key("kernel")
-        .begin_object()
-        .field("name", "ubf.true_coords")
-        .field("reps", static_cast<std::uint64_t>(reps))
-        .field("best_ms", best_ms)
-        .field("mean_ms", mean_ms)
-        .field("boundary_nodes", static_cast<std::uint64_t>(boundary_nodes))
-        .end_object();
+    w.field("threads", std::uint64_t{1});  // kernels are timed single-threaded
+    w.key("kernels").begin_array();
+    for (const KernelRecord& rec : records) write_kernel(w, rec);
+    w.end_array();
     w.end_object();
     std::ofstream out(out_path);
     if (!out.good()) {
@@ -145,46 +307,10 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
   const std::string baseline = buf.str();
 
-  double base_best = 0.0, base_nodes = 0.0, base_boundary = 0.0;
-  if (!extract_number(baseline, "best_ms", &base_best) || base_best <= 0.0) {
-    std::fprintf(stderr, "baseline %s has no usable best_ms\n",
-                 against.c_str());
-    return 2;
+  int exit_code = 0;
+  for (const KernelRecord& rec : records) {
+    const int rc = gate_kernel(rec, baseline, against, threshold);
+    exit_code = std::max(exit_code, rc);
   }
-  const std::string base_sha = extract_string(baseline, "git_sha");
-
-  // Bit-identity gate: same scenario + same seed must classify the same
-  // nodes as boundary in every build. A divergence means the kernel's
-  // *output* changed, which no amount of speed excuses.
-  if (extract_number(baseline, "nodes", &base_nodes) &&
-      static_cast<std::size_t>(base_nodes) != network.num_nodes()) {
-    std::fprintf(stderr,
-                 "baseline scenario mismatch: %zu nodes now vs %.0f in %s "
-                 "— not comparable, regenerate the baseline\n",
-                 network.num_nodes(), base_nodes, against.c_str());
-    return 2;
-  }
-  if (extract_number(baseline, "boundary_nodes", &base_boundary) &&
-      static_cast<std::size_t>(base_boundary) != boundary_nodes) {
-    std::fprintf(stderr,
-                 "CLASSIFICATION DRIFT: %zu boundary nodes now vs %.0f in "
-                 "baseline %s (%s)\n",
-                 boundary_nodes, base_boundary, against.c_str(),
-                 base_sha.c_str());
-    return 1;
-  }
-
-  const double ratio = best_ms / base_best;
-  std::printf("vs baseline %s (%s): %.2f ms -> %.2f ms (%+.1f%%)\n",
-              against.c_str(), base_sha.c_str(), base_best, best_ms,
-              (ratio - 1.0) * 100.0);
-  if (ratio > 1.0 + threshold) {
-    std::fprintf(stderr,
-                 "REGRESSION: ubf.true_coords slowed by %.1f%% (threshold "
-                 "%.0f%%)\n",
-                 (ratio - 1.0) * 100.0, threshold * 100.0);
-    return 1;
-  }
-  std::printf("within threshold (%.0f%%)\n", threshold * 100.0);
-  return 0;
+  return exit_code;
 }

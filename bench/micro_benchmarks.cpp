@@ -11,6 +11,7 @@
 #include "geom/grid.hpp"
 #include "geom/sampling.hpp"
 #include "geom/trisphere.hpp"
+#include "linalg/eigen.hpp"
 #include "linalg/mds.hpp"
 #include "localization/local_frame.hpp"
 #include "model/shapes.hpp"
@@ -68,6 +69,88 @@ void BM_ClassicalMds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClassicalMds)->Arg(10)->Arg(20)->Arg(40);
+
+// Builds a random m-point configuration plus its (dense) distance/weight
+// matrices with a unit-disk measurement pattern, shared by the SMACOF and
+// eigen benchmarks below.
+struct MdsFixture {
+  std::vector<Vec3> pts;
+  linalg::Matrix d, w;
+
+  explicit MdsFixture(std::size_t m, std::uint64_t seed = 8) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < m; ++i)
+      pts.push_back(geom::sample_in_ball(rng, {0, 0, 0}, 2.0));
+    d = linalg::Matrix(m, m);
+    w = linalg::Matrix(m, m);
+    for (std::size_t a = 0; a < m; ++a)
+      for (std::size_t b = 0; b < m; ++b) {
+        d(a, b) = pts[a].distance_to(pts[b]);
+        // ~unit-disk measurement sparsity: only nearby pairs measured.
+        w(a, b) = (a != b && d(a, b) <= 1.2) ? 1.0 : 0.0;
+      }
+  }
+};
+
+// The SMACOF hot loop at one-hop (20), two-hop-ish (40), and large-patch
+// (80) sizes. Uses the sparse CSR path the localization stage runs; flip
+// `sparse` off in the loop to compare against the dense reference.
+void BM_SmacofRefine(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const MdsFixture fx(m);
+  const linalg::SmacofProblem problem(fx.d, fx.w);
+  linalg::SmacofConfig sc;
+  sc.max_sweeps = 30;
+  std::vector<Vec3> init = fx.pts;
+  Rng rng(9);
+  for (Vec3& p : init)
+    p += Vec3{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+              rng.uniform(-0.2, 0.2)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.refine(init, sc));
+  }
+}
+BENCHMARK(BM_SmacofRefine)->Arg(20)->Arg(40)->Arg(80);
+
+// Top-3 eigenpairs of the centered Gram matrix — the classical-MDS init
+// cost. m = 20 exercises the dense Jacobi fallback (n <= 24), 40/80 the
+// subspace iteration.
+void BM_EigenTopK(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const MdsFixture fx(m);
+  linalg::Matrix full(m, m);
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = 0; b < m; ++b) full(a, b) = fx.d(a, b);
+  const linalg::Matrix gram = linalg::double_center(full);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigen_top_k(gram, 3, 60, 1e-6));
+  }
+}
+BENCHMARK(BM_EigenTopK)->Arg(20)->Arg(40)->Arg(80);
+
+// One-hop frame construction end to end (measured-pair fill, completion,
+// classical MDS, SMACOF restarts) at neighborhood sizes bracketing the
+// topk_mds_threshold. The range argument is the target node degree.
+void BM_LocalFrame(benchmark::State& state) {
+  const double degree = static_cast<double>(state.range(0));
+  Rng rng(10);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  const double volume = 4.0 / 3.0 * 3.14159 * 27.0;
+  opt.interior_count =
+      static_cast<std::size_t>(volume * degree / 4.19 * 0.7);
+  opt.surface_count = opt.interior_count / 2;
+  const net::Network network = net::build_network(shape, opt, rng);
+  const net::NoisyDistanceModel model(network, 0.1, 7);
+  const localization::Localizer localizer(network, model);
+  net::NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(localizer.local_frame(v));
+    v = (v + 17) % static_cast<net::NodeId>(network.num_nodes());
+  }
+}
+BENCHMARK(BM_LocalFrame)->Arg(20)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMicrosecond);
 
 // One full per-node localized step: MDS-MAP frame + UBF test. The paper's
 // Theorem 1 bounds the ball tests at Θ(ρ²) balls × Θ(ρ) nodes; the range

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file epoch_map.hpp
+/// Epoch-stamped slot map: a map from dense integer keys (node ids) to
+/// small integer values with O(1) clearing.
+///
+/// The per-node stages rebuild a "which nodes have I seen, and at which
+/// slot" table for every node they process. A hash map would allocate per
+/// node; a plain array would need an O(universe) clear per node. The epoch
+/// trick gets both: each entry carries the epoch it was written in, and
+/// `clear()` just bumps the current epoch — entries from older epochs read
+/// as absent. The backing arrays are zero-filled only on construction,
+/// resize, and epoch-counter wrap (once per 2³² clears).
+///
+/// This is the arena idiom the optimized UBF kernel established
+/// (src/core/ubf.cpp); it is shared here so the localization stage's
+/// frame builders can reuse it for member-slot lookup and two-hop
+/// deduplication. Intended to live in thread-local scratch: contents never
+/// survive a `clear()`, so results cannot depend on how work was
+/// distributed over threads.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ballfit {
+
+class EpochSlotMap {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  /// Ensures keys in [0, n) are addressable. A size change discards all
+  /// entries; with the size unchanged this is a no-op (entries survive
+  /// until the next `clear()`).
+  void reset_universe(std::size_t n) {
+    if (stamp_.size() != n) {
+      stamp_.assign(n, 0);
+      value_.resize(n);
+      epoch_ = 1;
+    }
+  }
+
+  /// Discards every entry in O(1) (epoch bump; zero-fills the stamp array
+  /// once per 2³² clears, when the counter wraps).
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Inserts key → value unless the key is already present this epoch.
+  /// Returns true when newly inserted (set semantics: ignore `value` and
+  /// use the return to deduplicate).
+  bool insert(std::size_t key, std::uint32_t value) {
+    if (stamp_[key] == epoch_) return false;
+    stamp_[key] = epoch_;
+    value_[key] = value;
+    return true;
+  }
+
+  bool contains(std::size_t key) const { return stamp_[key] == epoch_; }
+
+  /// The value stored for `key` this epoch, or kNotFound.
+  std::uint32_t find(std::size_t key) const {
+    return stamp_[key] == epoch_ ? value_[key] : kNotFound;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> value_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace ballfit

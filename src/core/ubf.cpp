@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/epoch_map.hpp"
 #include "common/parallel.hpp"
 #include "geom/candidate_cache.hpp"
 #include "geom/trisphere.hpp"
@@ -83,10 +84,9 @@ bool ball_is_empty(const std::vector<Vec3>& coords, const Vec3& center,
 /// is independent of how nodes are distributed over threads.
 struct UbfScratch {
   geom::CandidateCache cache;
-  std::vector<double> lim_sq;        // per-slot threshold; < 0 disables
-  std::vector<Vec3> gather;          // oracle detector: member coordinates
-  std::vector<std::uint32_t> stamp;  // oracle detector: epoch-mark dedup
-  std::uint32_t epoch = 0;
+  std::vector<double> lim_sq;  // per-slot threshold; < 0 disables
+  std::vector<Vec3> gather;    // oracle detector: member coordinates
+  EpochSlotMap seen;           // oracle detector: membership dedup
 };
 
 UbfScratch& local_scratch() {
@@ -458,30 +458,24 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
   std::vector<bool> boundary(n, false);
   std::size_t fallbacks = 0;
 
-  // Scratch-arena membership gather: `stamp` epoch-marks seen nodes (the
-  // allocation-free equivalent of a per-node unordered_set) and `gather`
-  // reuses its capacity across nodes. Member order is identical to the
-  // naive gather, though emptiness is order-independent anyway.
+  // Scratch-arena membership gather: `seen` epoch-marks visited nodes (the
+  // allocation-free equivalent of a per-node unordered_set — see
+  // common/epoch_map.hpp, where this idiom now lives) and `gather` reuses
+  // its capacity across nodes. Member order is identical to the naive
+  // gather, though emptiness is order-independent anyway.
   UbfScratch& scratch = local_scratch();
   std::vector<Vec3>& coords = scratch.gather;
-  std::vector<std::uint32_t>& stamp = scratch.stamp;
-  if (stamp.size() != n) {
-    stamp.assign(n, 0);
-    scratch.epoch = 0;
-  }
+  EpochSlotMap& seen = scratch.seen;
+  seen.reset_universe(n);
 
   for (NodeId i = 0; i < n; ++i) {
-    if (++scratch.epoch == 0) {  // epoch wrap: reset marks once per 2³² nodes
-      std::fill(stamp.begin(), stamp.end(), 0);
-      scratch.epoch = 1;
-    }
-    const std::uint32_t epoch = scratch.epoch;
+    seen.clear();
     coords.clear();
     coords.push_back(network_->position(i));
-    stamp[i] = epoch;
+    seen.insert(i, 0);
     for (NodeId v : network_->neighbors(i)) {
       coords.push_back(network_->position(v));
-      stamp[v] = epoch;
+      seen.insert(v, 0);
     }
     const std::size_t witness_count = coords.size();
     if (witness_count < 4) {
@@ -494,10 +488,7 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
       // one-hop set and i itself, deduplicated.
       for (NodeId j : network_->neighbors(i)) {
         for (NodeId u : network_->neighbors(j)) {
-          if (stamp[u] != epoch) {
-            stamp[u] = epoch;
-            coords.push_back(network_->position(u));
-          }
+          if (seen.insert(u, 0)) coords.push_back(network_->position(u));
         }
       }
     }

@@ -172,12 +172,24 @@ EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters,
     }
   }
 
-  out.values = prev_values;
+  // Subspace iteration usually converges with the columns already ordered
+  // by descending eigenvalue, but nothing guarantees it: when the random
+  // init block has a weak component along the dominant eigenvector, that
+  // pair can land in a later column. Sort explicitly before returning.
+  std::vector<std::size_t> order(static_cast<std::size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return prev_values[a] > prev_values[b];
+  });
+
+  out.values.resize(static_cast<std::size_t>(k));
   out.vectors = Matrix(n, static_cast<std::size_t>(k));
-  for (int c = 0; c < k; ++c)
+  for (int c = 0; c < k; ++c) {
+    const std::size_t src = order[static_cast<std::size_t>(c)];
+    out.values[static_cast<std::size_t>(c)] = prev_values[src];
     for (std::size_t r = 0; r < n; ++r)
-      out.vectors(r, static_cast<std::size_t>(c)) =
-          x[static_cast<std::size_t>(c)][r];
+      out.vectors(r, static_cast<std::size_t>(c)) = x[src][r];
+  }
   return out;
 }
 

@@ -35,7 +35,9 @@ EigenDecomposition eigen_symmetric(const Matrix& m, double tol = 1e-12,
 /// O(n³ · sweeps), which matters for the ~150×150 Gram matrices of 2-hop
 /// MDS patches. The shift `σ = ‖m‖_F` makes the algebraically largest
 /// eigenvalues also the largest in magnitude, so plain power iteration on
-/// m + σI converges to them.
+/// m + σI converges to them. The returned pairs are explicitly sorted by
+/// descending eigenvalue — subspace iteration usually converges in order,
+/// but the ordering is not guaranteed by the iteration itself.
 EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters = 300,
                                double tol = 1e-10);
 

@@ -27,6 +27,16 @@ class Matrix {
     return m;
   }
 
+  /// Reshapes to rows×cols, discarding contents (every entry becomes
+  /// `fill`). Reuses the existing allocation when its capacity suffices —
+  /// this is what lets the per-thread scratch arenas in the localization
+  /// stage rebuild their per-node matrices without churning the heap.
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }

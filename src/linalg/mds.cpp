@@ -6,26 +6,29 @@
 
 namespace ballfit::linalg {
 
-Matrix double_center(const Matrix& d) {
+void double_center_into(const Matrix& d, Matrix& out) {
   BALLFIT_REQUIRE(d.rows() == d.cols(), "distance matrix must be square");
   const std::size_t n = d.rows();
-  Matrix sq(n, n);
-  for (std::size_t r = 0; r < n; ++r)
-    for (std::size_t c = 0; c < n; ++c) sq(r, c) = d(r, c) * d(r, c);
 
   std::vector<double> row_mean(n, 0.0);
   double grand_mean = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < n; ++c) row_mean[r] += sq(r, c);
+    for (std::size_t c = 0; c < n; ++c) row_mean[r] += d(r, c) * d(r, c);
     row_mean[r] /= static_cast<double>(n);
     grand_mean += row_mean[r];
   }
   grand_mean /= static_cast<double>(n);
 
-  Matrix b(n, n);
+  out.resize(n, n);
   for (std::size_t r = 0; r < n; ++r)
     for (std::size_t c = 0; c < n; ++c)
-      b(r, c) = -0.5 * (sq(r, c) - row_mean[r] - row_mean[c] + grand_mean);
+      out(r, c) =
+          -0.5 * (d(r, c) * d(r, c) - row_mean[r] - row_mean[c] + grand_mean);
+}
+
+Matrix double_center(const Matrix& d) {
+  Matrix b;
+  double_center_into(d, b);
   return b;
 }
 
@@ -82,7 +85,8 @@ std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
                                       const Matrix& weights,
                                       std::vector<geom::Vec3> init,
                                       const SmacofConfig& config,
-                                      double* final_stress) {
+                                      double* final_stress,
+                                      std::vector<double>* stress_trace) {
   const std::size_t n = init.size();
   BALLFIT_REQUIRE(distances.rows() == n && distances.cols() == n,
                   "distance matrix must match point count");
@@ -90,6 +94,10 @@ std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
                   "weight matrix must match point count");
 
   double stress = weighted_stress(distances, weights, init);
+  if (stress_trace != nullptr) {
+    stress_trace->clear();
+    stress_trace->push_back(stress);
+  }
   for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
     // Coordinate-descent Guttman transform: each point moves to the
     // minimizer of its local stress majorizer given the others —
@@ -112,12 +120,104 @@ std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
       if (wsum > 0.0) init[i] = acc / wsum;
     }
     const double next = weighted_stress(distances, weights, init);
+    if (stress_trace != nullptr) stress_trace->push_back(next);
     const bool converged =
         next <= stress && (stress - next) <= config.rel_tol * (stress + 1e-30);
     stress = next;
     if (converged) break;
   }
   if (final_stress != nullptr) *final_stress = stress;
+  return init;
+}
+
+void SmacofProblem::assign(const Matrix& distances, const Matrix& weights) {
+  const std::size_t n = distances.rows();
+  BALLFIT_REQUIRE(distances.cols() == n, "distance matrix must be square");
+  BALLFIT_REQUIRE(weights.rows() == n && weights.cols() == n,
+                  "weight matrix must match distance matrix");
+  n_ = n;
+  num_edges_ = 0;
+  row_begin_.resize(n + 1);
+  upper_begin_.resize(n);
+  adj_.clear();
+  dist_.clear();
+  weight_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    row_begin_[i] = static_cast<std::uint32_t>(adj_.size());
+    bool saw_upper = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double wij = weights(i, j);
+      if (wij <= 0.0) continue;
+      if (j > i) {
+        ++num_edges_;
+        if (!saw_upper) {
+          upper_begin_[i] = static_cast<std::uint32_t>(adj_.size());
+          saw_upper = true;
+        }
+      }
+      adj_.push_back(static_cast<std::uint32_t>(j));
+      dist_.push_back(distances(i, j));
+      weight_.push_back(wij);
+    }
+    if (!saw_upper) upper_begin_[i] = static_cast<std::uint32_t>(adj_.size());
+  }
+  row_begin_[n] = static_cast<std::uint32_t>(adj_.size());
+}
+
+double SmacofProblem::stress(const std::vector<geom::Vec3>& x) const {
+  BALLFIT_REQUIRE(x.size() == n_, "point count must match the problem");
+  double s = 0.0;
+  // Upper-triangle entries only, in the dense loop's (i asc, j asc > i)
+  // order — the accumulation order (and thus the rounding) matches the
+  // dense evaluation bit for bit.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint32_t end = row_begin_[i + 1];
+    for (std::uint32_t e = upper_begin_[i]; e < end; ++e) {
+      const double diff = x[i].distance_to(x[adj_[e]]) - dist_[e];
+      s += weight_[e] * diff * diff;
+    }
+  }
+  return s;
+}
+
+std::vector<geom::Vec3> SmacofProblem::refine(
+    std::vector<geom::Vec3> init, const SmacofConfig& config,
+    double* final_stress, std::vector<double>* stress_trace) const {
+  BALLFIT_REQUIRE(init.size() == n_, "point count must match the problem");
+
+  double st = stress(init);
+  if (stress_trace != nullptr) {
+    stress_trace->clear();
+    stress_trace->push_back(st);
+  }
+  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    // The same coordinate-descent Guttman transform as `smacof_refine`,
+    // visiting only the measured partners of each point (CSR row, ascending
+    // — the dense loop's order over its positive-weight entries).
+    for (std::size_t i = 0; i < n_; ++i) {
+      geom::Vec3 acc{};
+      double wsum = 0.0;
+      const std::uint32_t end = row_begin_[i + 1];
+      for (std::uint32_t e = row_begin_[i]; e < end; ++e) {
+        const std::size_t j = adj_[e];
+        const geom::Vec3 delta = init[i] - init[j];
+        const double len = delta.norm();
+        const geom::Vec3 dir =
+            len > 1e-12 ? delta / len : geom::Vec3{1.0, 0.0, 0.0};
+        acc += (init[j] + dir * dist_[e]) * weight_[e];
+        wsum += weight_[e];
+      }
+      if (wsum > 0.0) init[i] = acc / wsum;
+    }
+    const double next = stress(init);
+    if (stress_trace != nullptr) stress_trace->push_back(next);
+    const bool converged =
+        next <= st && (st - next) <= config.rel_tol * (st + 1e-30);
+    st = next;
+    if (converged) break;
+  }
+  if (final_stress != nullptr) *final_stress = st;
   return init;
 }
 

@@ -8,6 +8,7 @@
 /// matrix of pairwise distance *measurements* between a node and its one-hop
 /// neighbors, recover coordinates in R³ up to a rigid motion + reflection.
 
+#include <cstdint>
 #include <vector>
 
 #include "geom/vec3.hpp"
@@ -27,6 +28,13 @@ struct MdsResult {
 /// Double-centers the squared-distance matrix: B = −½ · J D² J with
 /// J = I − 1/n · 11ᵀ. `d` holds distances (not squared).
 Matrix double_center(const Matrix& d);
+
+/// Allocation-free form of `double_center` for per-thread scratch arenas:
+/// writes the centered Gram matrix into `out` (resized as needed, reusing
+/// its buffer) and never materializes the squared-distance matrix — the
+/// squares are folded into the row-mean and output passes. Bit-identical
+/// to `double_center`.
+void double_center_into(const Matrix& d, Matrix& out);
 
 /// Classical MDS of a symmetric distance matrix into `dim` dimensions
 /// (only dim == 3 coordinates are populated into Vec3; dim may be 2 for
@@ -56,11 +64,79 @@ struct SmacofConfig {
 /// become numerically exact.
 ///
 /// Returns the refined coordinates; `final_stress`, when non-null, receives
-/// the weighted stress value at exit.
+/// the weighted stress value at exit. `stress_trace`, when non-null, is
+/// cleared and filled with the stress before the first sweep followed by
+/// the stress after each executed sweep (the majorization is monotone, so
+/// the trace is non-increasing up to rounding).
+///
+/// This dense form scans the full m×m weight matrix every sweep; it is the
+/// readable reference implementation. The localization hot path uses
+/// `SmacofProblem`, which precomputes the measured-edge adjacency once and
+/// sweeps in O(m·deg) — with bit-identical results (the equivalence is
+/// asserted by tests/localization_equivalence_test.cpp).
 std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
                                       const Matrix& weights,
                                       std::vector<geom::Vec3> init,
                                       const SmacofConfig& config = {},
-                                      double* final_stress = nullptr);
+                                      double* final_stress = nullptr,
+                                      std::vector<double>* stress_trace =
+                                          nullptr);
+
+/// Sparse SMACOF: the positive-weight (= measured) entries of a
+/// (distances, weights) pair, extracted once into a CSR structure so every
+/// refinement sweep costs O(Σ deg) instead of the dense O(m²) matrix scan.
+///
+/// Each CSR row lists a point's measured partners in ascending index
+/// order — the same order the dense loops visit them — and the per-edge
+/// arithmetic is identical, so `refine` and `stress` return bit-identical
+/// values to `smacof_refine` / its internal stress on the same inputs.
+///
+/// The structure is immutable after `assign` and holds copies of the
+/// needed matrix entries, so the source matrices may be reused (scratch
+/// arenas) or freed while the problem is alive. `assign` reuses the
+/// internal buffers, making a thread-local instance allocation-free in
+/// steady state.
+class SmacofProblem {
+ public:
+  SmacofProblem() = default;
+  SmacofProblem(const Matrix& distances, const Matrix& weights) {
+    assign(distances, weights);
+  }
+
+  /// Rebuilds the sparse structure from the positive-weight entries of
+  /// (distances, weights), reusing internal buffers.
+  void assign(const Matrix& distances, const Matrix& weights);
+
+  std::size_t num_points() const { return n_; }
+  /// Number of measured unordered pairs (positive-weight upper-triangle
+  /// entries).
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Weighted stress of `x` over the measured pairs; bit-identical to the
+  /// dense evaluation in `smacof_refine`.
+  double stress(const std::vector<geom::Vec3>& x) const;
+
+  /// Coordinate-descent stress majorization from `init`; semantics of
+  /// `config`, `final_stress`, and `stress_trace` exactly as in
+  /// `smacof_refine`.
+  std::vector<geom::Vec3> refine(std::vector<geom::Vec3> init,
+                                 const SmacofConfig& config = {},
+                                 double* final_stress = nullptr,
+                                 std::vector<double>* stress_trace =
+                                     nullptr) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t num_edges_ = 0;
+  /// CSR over points: row i spans [row_begin_[i], row_begin_[i+1]).
+  std::vector<std::uint32_t> row_begin_;
+  /// First entry of row i with partner index > i (== row end when none);
+  /// the stress sum visits only these to count each pair once, in the
+  /// dense loop's (i asc, j asc > i) order.
+  std::vector<std::uint32_t> upper_begin_;
+  std::vector<std::uint32_t> adj_;
+  std::vector<double> dist_;
+  std::vector<double> weight_;
+};
 
 }  // namespace ballfit::linalg

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/assert.hpp"
+#include "common/epoch_map.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "linalg/eigen.hpp"
@@ -17,12 +18,86 @@ namespace ballfit::localization {
 
 using net::NodeId;
 
+namespace {
+
+constexpr double kMissing = std::numeric_limits<double>::infinity();
+
+/// Per-thread scratch arena for the frame builders. Every matrix/vector a
+/// frame build needs lives here and is re-shaped (not re-allocated) per
+/// node, so steady-state frame construction is heap-free. Contents are
+/// dead between frame builds — nothing may escape by reference, and no
+/// result may depend on which thread (and hence which arena) built a
+/// frame. `slot` maps a node id to its member index for the frame
+/// currently under construction (epoch-cleared per frame).
+struct LocScratch {
+  linalg::Matrix d;     // member-pair distances (measured + completed)
+  linalg::Matrix w;     // 1.0 where measured, 0 elsewhere
+  linalg::Matrix gram;  // centered Gram matrix for the top-k MDS path
+  linalg::SmacofProblem smacof;
+  EpochSlotMap slot;
+  std::vector<NodeId> tail;  // two-hop tail accumulator
+  // Measured-edge CSR for shortest-path completion: rows hold the
+  // *pre-completion* measured distances (completion lowers d in place, but
+  // must relax over the original edge lengths).
+  std::vector<std::uint32_t> comp_begin;
+  std::vector<std::uint32_t> comp_adj;
+  std::vector<double> comp_dist;
+};
+
+LocScratch& scratch() {
+  thread_local LocScratch s;
+  return s;
+}
+
+/// Fills d (m×m, `kMissing` off-diagonal default) and w (m×m zeros) with
+/// the measured distance of every member pair that is a radio edge.
+/// Requires `slot` to map members[a] → a for exactly the current members.
+///
+/// The cache path walks each member's network adjacency row (O(Σ deg))
+/// instead of testing all O(m²) pairs; both endpoints write the same
+/// cached value, so the result is symmetric and bit-identical to the
+/// model-query path.
+void fill_measured_pairs(const net::Network& net,
+                         const net::NoisyDistanceModel& model,
+                         const net::EdgeMeasurementCache* cache,
+                         const std::vector<NodeId>& members,
+                         const EpochSlotMap& slot, linalg::Matrix& d,
+                         linalg::Matrix& w) {
+  const std::size_t m = members.size();
+  d.resize(m, m, kMissing);
+  w.resize(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) d(a, a) = 0.0;
+  if (cache != nullptr) {
+    for (std::size_t a = 0; a < m; ++a) {
+      const auto nbrs = net.neighbors(members[a]);
+      const double* meas = cache->row(members[a]);
+      for (std::size_t t = 0; t < nbrs.size(); ++t) {
+        const std::uint32_t b = slot.find(nbrs[t]);
+        if (b == EpochSlotMap::kNotFound) continue;
+        d(a, b) = meas[t];
+        w(a, b) = 1.0;
+      }
+    }
+  } else {
+    for (std::size_t a = 0; a < m; ++a)
+      for (std::size_t b = a + 1; b < m; ++b) {
+        if (!net.are_neighbors(members[a], members[b])) continue;
+        const double meas = model.measured_distance(members[a], members[b]);
+        d(a, b) = d(b, a) = meas;
+        w(a, b) = w(b, a) = 1.0;
+      }
+  }
+}
+
+}  // namespace
+
 Localizer::Localizer(const net::Network& network,
                      const net::NoisyDistanceModel& model,
                      LocalizerConfig config)
     : network_(&network), model_(&model), config_(config) {
   BALLFIT_REQUIRE(&model.network() == &network,
                   "measurement model must wrap the same network");
+  if (config_.use_edge_cache) edge_cache_.emplace(model);
 }
 
 LocalFrame Localizer::local_frame(NodeId i) const {
@@ -44,24 +119,19 @@ LocalFrame Localizer::local_frame(NodeId i) const {
 
   // Measured distances where available; "infinite" where not. The weight
   // matrix marks which entries are real measurements — only those are
-  // honored by the SMACOF refinement below.
-  constexpr double kMissing = std::numeric_limits<double>::infinity();
-  linalg::Matrix d(m, m, kMissing);
-  linalg::Matrix w(m, m, 0.0);
-  for (std::size_t a = 0; a < m; ++a) {
-    d(a, a) = 0.0;
-    for (std::size_t b = a + 1; b < m; ++b) {
-      const NodeId u = frame.members[a];
-      const NodeId v = frame.members[b];
-      // A pair can measure each other iff within radio range (they are
-      // mutual one-hop neighbors). members[0]=i is adjacent to all others.
-      if (a == 0 || network_->are_neighbors(u, v)) {
-        const double meas = model_->measured_distance(u, v);
-        d(a, b) = d(b, a) = meas;
-        w(a, b) = w(b, a) = 1.0;
-      }
-    }
-  }
+  // honored by the SMACOF refinement below. members[0]=i is adjacent to
+  // every other member, so "pair is a radio edge" covers all pairs a
+  // one-hop frame can measure.
+  LocScratch& s = scratch();
+  s.slot.reset_universe(network_->num_nodes());
+  s.slot.clear();
+  for (std::size_t a = 0; a < m; ++a)
+    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
+  fill_measured_pairs(*network_, *model_,
+                      edge_cache_ ? &*edge_cache_ : nullptr, frame.members,
+                      s.slot, s.d, s.w);
+  linalg::Matrix& d = s.d;
+  linalg::Matrix& w = s.w;
 
   // Shortest-path completion of unmeasured pairs within the neighborhood
   // (all pairs are joined through i at worst, so no entry stays infinite).
@@ -82,13 +152,36 @@ LocalFrame Localizer::local_frame(NodeId i) const {
     for (std::size_t b = 0; b < m; ++b)
       if (d(a, b) == kMissing) d(a, b) = fallback;
 
-  linalg::MdsResult mds = linalg::classical_mds(d, 3);
-  frame.coords = refine_embedding(d, w, std::move(mds.coords), i, 0,
-                                  &frame.stress_rms);
-  frame.ok = mds.converged;
-  if (mds.gram_eigenvalues.size() >= 4 && mds.gram_eigenvalues[2] > 1e-12) {
-    frame.embed_residual =
-        std::fabs(mds.gram_eigenvalues[3]) / mds.gram_eigenvalues[2];
+  if (config_.topk_mds && m > config_.topk_mds_threshold) {
+    // Only the top-3 eigenpairs feed the embedding; for larger
+    // neighborhoods subspace iteration beats the full Jacobi by ~m/3².
+    linalg::double_center_into(d, s.gram);
+    const linalg::EigenDecomposition eig =
+        linalg::eigen_top_k(s.gram, 3, /*max_iters=*/60, /*tol=*/1e-6);
+    std::vector<geom::Vec3> init(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      double c[3] = {0.0, 0.0, 0.0};
+      for (int k = 0; k < 3; ++k) {
+        const double lambda =
+            std::max(0.0, eig.values[static_cast<std::size_t>(k)]);
+        c[k] = eig.vectors(r, static_cast<std::size_t>(k)) * std::sqrt(lambda);
+      }
+      init[r] = {c[0], c[1], c[2]};
+    }
+    frame.coords = refine_embedding(d, w, std::move(init), i, 0,
+                                    &frame.stress_rms);
+    frame.ok = true;
+    // embed_residual needs λ₄, which the top-k path does not compute; it
+    // stays 0 (nothing downstream consumes it).
+  } else {
+    linalg::MdsResult mds = linalg::classical_mds(d, 3);
+    frame.coords = refine_embedding(d, w, std::move(mds.coords), i, 0,
+                                    &frame.stress_rms);
+    frame.ok = mds.converged;
+    if (mds.gram_eigenvalues.size() >= 4 && mds.gram_eigenvalues[2] > 1e-12) {
+      frame.embed_residual =
+          std::fabs(mds.gram_eigenvalues[3]) / mds.gram_eigenvalues[2];
+    }
   }
   return frame;
 }
@@ -109,9 +202,22 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
   sc.max_sweeps =
       sweeps_override > 0 ? sweeps_override : config_.smacof_sweeps;
 
+  // Sparse path: extract the measured edges into CSR once, so each restart
+  // and each sweep costs O(edges) instead of a dense m² matrix scan. The
+  // problem lives in the thread-local arena; it is consumed before this
+  // thread builds its next frame.
+  linalg::SmacofProblem* problem = nullptr;
+  if (config_.sparse_smacof) {
+    problem = &scratch().smacof;
+    problem->assign(d, w);
+  }
   std::size_t measured_pairs = 0;
-  for (std::size_t a = 0; a < m; ++a)
-    for (std::size_t b = a + 1; b < m; ++b) measured_pairs += w(a, b) > 0.0;
+  if (problem != nullptr) {
+    measured_pairs = problem->num_edges();
+  } else {
+    for (std::size_t a = 0; a < m; ++a)
+      for (std::size_t b = a + 1; b < m; ++b) measured_pairs += w(a, b) > 0.0;
+  }
   const double e = model_->error_fraction() * network_->radio_range();
   // E[(d̂−d)²] = e²/3 for Uniform(−e, e) noise; the embedding residual per
   // pair should not exceed that noise floor by much.
@@ -134,7 +240,10 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
       }
     }
     double stress = 0.0;
-    auto refined = linalg::smacof_refine(d, w, std::move(start), sc, &stress);
+    auto refined =
+        problem != nullptr
+            ? problem->refine(std::move(start), sc, &stress)
+            : linalg::smacof_refine(d, w, std::move(start), sc, &stress);
     if (stress < best_stress) {
       best_stress = stress;
       best = std::move(refined);
@@ -165,47 +274,57 @@ LocalFrame Localizer::mdsmap_frame(NodeId i) const {
     return frame;
   }
 
-  // Two-hop tail, sorted for determinism.
-  {
-    std::unordered_set<NodeId> seen(frame.members.begin(),
-                                    frame.members.end());
-    std::vector<NodeId> tail;
-    for (NodeId j : nb) {
-      for (NodeId u : network_->neighbors(j)) {
-        if (seen.insert(u).second) tail.push_back(u);
-      }
+  // Two-hop tail, sorted for determinism. The epoch-stamped slot map
+  // doubles as the dedup set and, once the tail is appended, as the
+  // node-id → member-slot index the measured-pair fill needs.
+  LocScratch& s = scratch();
+  s.slot.reset_universe(network_->num_nodes());
+  s.slot.clear();
+  for (std::size_t a = 0; a < frame.members.size(); ++a)
+    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
+  s.tail.clear();
+  for (NodeId j : nb) {
+    for (NodeId u : network_->neighbors(j)) {
+      if (s.slot.insert(u, 0)) s.tail.push_back(u);
     }
-    std::sort(tail.begin(), tail.end());
-    frame.members.insert(frame.members.end(), tail.begin(), tail.end());
   }
+  std::sort(s.tail.begin(), s.tail.end());
+  frame.members.insert(frame.members.end(), s.tail.begin(), s.tail.end());
   const std::size_t m = frame.members.size();
+  // Re-stamp every member with its final slot (the tail got placeholder
+  // values before sorting). `insert` skips present keys, so overwrite
+  // through a fresh epoch.
+  s.slot.clear();
+  for (std::size_t a = 0; a < m; ++a)
+    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
 
   // Measured distances for adjacent member pairs.
-  constexpr double kMissing = std::numeric_limits<double>::infinity();
-  linalg::Matrix d(m, m, kMissing);
-  linalg::Matrix w(m, m, 0.0);
-  for (std::size_t a = 0; a < m; ++a) {
-    d(a, a) = 0.0;
-    for (std::size_t b = a + 1; b < m; ++b) {
-      if (!network_->are_neighbors(frame.members[a], frame.members[b]))
-        continue;
-      const double meas =
-          model_->measured_distance(frame.members[a], frame.members[b]);
-      d(a, b) = d(b, a) = meas;
-      w(a, b) = w(b, a) = 1.0;
-    }
-  }
+  fill_measured_pairs(*network_, *model_,
+                      edge_cache_ ? &*edge_cache_ : nullptr, frame.members,
+                      s.slot, s.d, s.w);
+  linalg::Matrix& d = s.d;
+  linalg::Matrix& w = s.w;
 
-  // Shortest-path completion. The patch has diameter <= 4 hops, so two
+  // Shortest-path completion. The patch has diameter <= 4 hops, so a few
   // rounds of sparse relaxation over the measured edges (a→k→b with (k,b)
   // measured) reach every pair — O(m·deg²) per round instead of
   // Floyd–Warshall's O(m³), which dominates the whole pipeline on patches
-  // of ~150 nodes.
+  // of ~150 nodes. The CSR rows hold pre-completion copies of d: the
+  // relaxation must keep extending over the original measured edge
+  // lengths even as d(a,b) entries drop below them.
   if (config_.complete_missing_pairs) {
-    std::vector<std::vector<std::pair<std::size_t, double>>> adj(m);
-    for (std::size_t a = 0; a < m; ++a)
+    s.comp_begin.resize(m + 1);
+    s.comp_adj.clear();
+    s.comp_dist.clear();
+    for (std::size_t a = 0; a < m; ++a) {
+      s.comp_begin[a] = static_cast<std::uint32_t>(s.comp_adj.size());
       for (std::size_t b = 0; b < m; ++b)
-        if (w(a, b) > 0.0) adj[a].push_back({b, d(a, b)});
+        if (w(a, b) > 0.0) {
+          s.comp_adj.push_back(static_cast<std::uint32_t>(b));
+          s.comp_dist.push_back(d(a, b));
+        }
+    }
+    s.comp_begin[m] = static_cast<std::uint32_t>(s.comp_adj.size());
     // Each round extends known distances by one measured edge; three
     // rounds cover the 4-hop patch diameter.
     for (int round = 0; round < 3; ++round) {
@@ -213,8 +332,10 @@ LocalFrame Localizer::mdsmap_frame(NodeId i) const {
         for (std::size_t k = 0; k < m; ++k) {
           const double dak = d(a, k);
           if (dak == kMissing) continue;
-          for (const auto& [b, dkb] : adj[k]) {
-            const double cand = dak + dkb;
+          const std::uint32_t end = s.comp_begin[k + 1];
+          for (std::uint32_t e = s.comp_begin[k]; e < end; ++e) {
+            const std::size_t b = s.comp_adj[e];
+            const double cand = dak + s.comp_dist[e];
             if (cand < d(a, b)) d(a, b) = d(b, a) = cand;
           }
         }
@@ -228,9 +349,9 @@ LocalFrame Localizer::mdsmap_frame(NodeId i) const {
 
   // Classical MDS init from the top-3 eigenpairs of the centered Gram
   // matrix, then measured-pair stress majorization.
-  const linalg::Matrix gram = linalg::double_center(d);
+  linalg::double_center_into(d, s.gram);
   const linalg::EigenDecomposition eig =
-      linalg::eigen_top_k(gram, 3, /*max_iters=*/60, /*tol=*/1e-6);
+      linalg::eigen_top_k(s.gram, 3, /*max_iters=*/60, /*tol=*/1e-6);
   std::vector<geom::Vec3> init(m);
   for (std::size_t r = 0; r < m; ++r) {
     double c[3] = {0.0, 0.0, 0.0};
@@ -253,20 +374,26 @@ void Localizer::refine_with_measurements(LocalFrame& frame,
                                          int sweeps) const {
   if (!frame.ok || sweeps <= 0) return;
   const std::size_t m = frame.members.size();
-  linalg::Matrix d(m, m, 0.0);
-  linalg::Matrix w(m, m, 0.0);
-  for (std::size_t a = 0; a < m; ++a) {
-    for (std::size_t b = a + 1; b < m; ++b) {
-      const NodeId u = frame.members[a];
-      const NodeId v = frame.members[b];
-      if (!network_->are_neighbors(u, v)) continue;
-      d(a, b) = d(b, a) = model_->measured_distance(u, v);
-      w(a, b) = w(b, a) = 1.0;
-    }
-  }
+  LocScratch& s = scratch();
+  s.slot.reset_universe(network_->num_nodes());
+  s.slot.clear();
+  for (std::size_t a = 0; a < m; ++a)
+    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
+  // Unmeasured entries stay at kMissing here instead of the 0.0 the dense
+  // builder used; both are inert — every consumer below honors only the
+  // w > 0 entries.
+  fill_measured_pairs(*network_, *model_,
+                      edge_cache_ ? &*edge_cache_ : nullptr, frame.members,
+                      s.slot, s.d, s.w);
   linalg::SmacofConfig sc;
   sc.max_sweeps = sweeps;
-  frame.coords = linalg::smacof_refine(d, w, std::move(frame.coords), sc);
+  if (config_.sparse_smacof) {
+    s.smacof.assign(s.d, s.w);
+    frame.coords = s.smacof.refine(std::move(frame.coords), sc);
+  } else {
+    frame.coords =
+        linalg::smacof_refine(s.d, s.w, std::move(frame.coords), sc);
+  }
 }
 
 TwoHopFrames::TwoHopFrames(const Localizer& localizer, unsigned threads)

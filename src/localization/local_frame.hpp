@@ -11,6 +11,8 @@
 /// The output frame is arbitrary up to rigid motion + reflection, which is
 /// exactly the invariance class of the Unit Ball Fitting test.
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "geom/vec3.hpp"
@@ -65,6 +67,25 @@ struct LocalizerConfig {
   int smacof_restarts = 2;
   /// Seed for the (deterministic, per-node) restart perturbations.
   std::uint64_t restart_seed = 0x5eedULL;
+  /// Use the 3-eigenpair `eigen_top_k` path for the classical-MDS init of
+  /// one-hop frames with more than `topk_mds_threshold` members, instead of
+  /// a full Jacobi decomposition (O(k·m²·iters) vs O(m³·sweeps)). Below the
+  /// threshold dense Jacobi is both faster and exact, so it is kept.
+  /// Coordinates change within numerical noise (the SMACOF refinement
+  /// converges to the same basin); detection stats are preserved but not
+  /// bit-identical — disable for bitwise-reproducibility studies.
+  bool topk_mds = true;
+  std::size_t topk_mds_threshold = 24;
+  /// Sweep SMACOF over a precomputed measured-edge adjacency (CSR) instead
+  /// of scanning the dense m×m weight matrix per point per sweep. Same
+  /// arithmetic in the same order — bit-identical output; the flag exists
+  /// only so the equivalence tests can compare against the dense reference.
+  bool sparse_smacof = true;
+  /// Materialize every radio edge's measured distance once at Localizer
+  /// construction (`net::EdgeMeasurementCache`) instead of re-deriving it
+  /// inside every frame build. Values are bit-identical by the measurement
+  /// model's determinism contract.
+  bool use_edge_cache = true;
 };
 
 class Localizer {
@@ -110,6 +131,10 @@ class Localizer {
   const net::Network* network_;
   const net::NoisyDistanceModel* model_;
   LocalizerConfig config_;
+  /// Per-edge measured distances, drawn once at construction (nullopt when
+  /// `config_.use_edge_cache` is off). Shared read-only by all frame builds
+  /// on all threads.
+  std::optional<net::EdgeMeasurementCache> edge_cache_;
 };
 
 /// Two-hop frames by patch stitching.

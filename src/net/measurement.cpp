@@ -35,4 +35,23 @@ double NoisyDistanceModel::measured_distance(NodeId i, NodeId j) const {
   return std::max(0.0, truth + noise);
 }
 
+EdgeMeasurementCache::EdgeMeasurementCache(const NoisyDistanceModel& model)
+    : network_(&model.network()) {
+  const std::size_t n = network_->num_nodes();
+  offsets_.resize(n + 1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_[i] = total;
+    total += network_->neighbors(static_cast<NodeId>(i)).size();
+  }
+  offsets_[n] = total;
+  meas_.resize(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto nbrs = network_->neighbors(static_cast<NodeId>(i));
+    double* out = meas_.data() + offsets_[i];
+    for (std::size_t a = 0; a < nbrs.size(); ++a)
+      out[a] = model.measured_distance(static_cast<NodeId>(i), nbrs[a]);
+  }
+}
+
 }  // namespace ballfit::net

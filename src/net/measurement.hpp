@@ -15,7 +15,9 @@
 /// keyed on (seed, min(i,j), max(i,j)) through a counter-mode hash, so it is
 /// stable regardless of query order.
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "net/network.hpp"
 
@@ -44,6 +46,37 @@ class NoisyDistanceModel {
   const Network* network_;
   double error_fraction_;
   std::uint64_t seed_;
+};
+
+/// All measured edge distances of a network, materialized once.
+///
+/// `NoisyDistanceModel::measured_distance` is a pure function of
+/// (seed, min(i,j), max(i,j)) — the determinism contract above — so the
+/// measurement of every radio edge can be drawn once per run and shared by
+/// every frame build. Without the cache, each frame re-hashes every edge it
+/// touches: network-wide that is ~2·deg redundant model calls per edge
+/// (each endpoint's one-hop frame, plus two-hop patches).
+///
+/// Layout mirrors the network's CSR adjacency: `row(i)[a]` is the measured
+/// distance to `network.neighbors(i)[a]`. Symmetry of the model means both
+/// directed copies of an edge hold bit-identical values.
+class EdgeMeasurementCache {
+ public:
+  explicit EdgeMeasurementCache(const NoisyDistanceModel& model);
+
+  const Network& network() const { return *network_; }
+
+  /// Measured distances aligned index-for-index with
+  /// `network().neighbors(i)`.
+  const double* row(NodeId i) const { return meas_.data() + offsets_[i]; }
+
+  /// Total directed-edge entries (2× the undirected edge count).
+  std::size_t size() const { return meas_.size(); }
+
+ private:
+  const Network* network_;
+  std::vector<std::size_t> offsets_;
+  std::vector<double> meas_;
 };
 
 }  // namespace ballfit::net

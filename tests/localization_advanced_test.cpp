@@ -158,6 +158,58 @@ TEST(EigenTopK, MatchesFullDecompositionOnLargeMatrix) {
   }
 }
 
+TEST(EigenTopK, SortsPairsWhenDominantConvergesLast) {
+  // Adversarial construction: make the iteration's own deterministic init
+  // block the eigenbasis, with the *largest* eigenvalue on the direction
+  // only the LAST init column reaches. Column c of the init is invariant
+  // under one power step + Gram-Schmidt (each A·x_c re-lands in the span
+  // already assigned to column c), so without an explicit output sort the
+  // pairs converge — and would be returned — in the order [5, 2, 10].
+  const std::size_t n = 32;  // above the dense-path cutoff
+  const int k = 3;
+  // Replicate eigen_top_k's init: column-major splitmix64 stream.
+  std::vector<std::vector<double>> q(k, std::vector<double>(n));
+  std::uint64_t seed = 0x243f6a8885a308d3ULL;
+  for (int c = 0; c < k; ++c)
+    for (std::size_t r = 0; r < n; ++r)
+      q[static_cast<std::size_t>(c)][r] =
+          double(splitmix64(seed) >> 11) * 0x1.0p-53 - 0.5;
+  // Gram-Schmidt → orthonormal basis {q0, q1, q2}.
+  for (int c = 0; c < k; ++c) {
+    auto& col = q[static_cast<std::size_t>(c)];
+    for (int p = 0; p < c; ++p) {
+      double proj = 0.0;
+      for (std::size_t r = 0; r < n; ++r)
+        proj += col[r] * q[static_cast<std::size_t>(p)][r];
+      for (std::size_t r = 0; r < n; ++r)
+        col[r] -= proj * q[static_cast<std::size_t>(p)][r];
+    }
+    double norm = 0.0;
+    for (std::size_t r = 0; r < n; ++r) norm += col[r] * col[r];
+    norm = std::sqrt(norm);
+    for (std::size_t r = 0; r < n; ++r) col[r] /= norm;
+  }
+  // A = 5·q0q0ᵀ + 2·q1q1ᵀ + 10·q2q2ᵀ — dominant pair on q2.
+  const double lambda[3] = {5.0, 2.0, 10.0};
+  linalg::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      for (int e = 0; e < k; ++e)
+        m(r, c) += lambda[e] * q[static_cast<std::size_t>(e)][r] *
+                   q[static_cast<std::size_t>(e)][c];
+
+  const auto topk = linalg::eigen_top_k(m, k);
+  ASSERT_EQ(topk.values.size(), 3u);
+  EXPECT_NEAR(topk.values[0], 10.0, 1e-6);
+  EXPECT_NEAR(topk.values[1], 5.0, 1e-6);
+  EXPECT_NEAR(topk.values[2], 2.0, 1e-6);
+  // The dominant eigenvector must ride in column 0 after the sort.
+  double align = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    align += topk.vectors(r, 0) * q[2][r];
+  EXPECT_NEAR(std::fabs(align), 1.0, 1e-6);
+}
+
 TEST(EigenTopK, SmallMatrixDensePath) {
   linalg::Matrix m(3, 3);
   m(0, 0) = 4;

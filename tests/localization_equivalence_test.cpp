@@ -1,0 +1,204 @@
+// Equivalence suite for the optimized localization stage.
+//
+// The structural optimizations (sparse SMACOF, scratch arenas, the edge-
+// measurement cache) promise *bit-identical* frames to the naive reference
+// path; the eigen-path switch (topk_mds) promises classification-grade
+// closeness only. These tests pin both contracts, plus the thread-count
+// invariance that the per-thread scratch arenas must not break.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ubf.hpp"
+#include "linalg/mds.hpp"
+#include "localization/local_frame.hpp"
+#include "model/shapes.hpp"
+#include "model/zoo.hpp"
+#include "net/builder.hpp"
+
+namespace ballfit::localization {
+namespace {
+
+using geom::Vec3;
+using net::NodeId;
+
+net::Network sphere_network(std::uint64_t seed) {
+  Rng rng(seed);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = 250;
+  opt.interior_count = 400;
+  return net::build_network(shape, opt, rng);
+}
+
+/// The paper's cube-with-hole scenario (Fig. 1) at a test-friendly scale.
+net::Network fig1_network(std::uint64_t seed) {
+  Rng rng(seed);
+  const model::Scenario scenario = model::fig1_network(0.4);
+  net::BuildOptions opt =
+      net::options_for_target_degree(*scenario.shape, 18.5, 0.5, rng);
+  opt.interior_margin = 0.35 * opt.radio_range;
+  return net::build_network(*scenario.shape, opt, rng);
+}
+
+/// All structural optimizations on (the default), but the eigen-path
+/// switch off — this configuration must be bit-identical to the
+/// all-flags-off reference.
+LocalizerConfig structural_config() {
+  LocalizerConfig c;
+  c.topk_mds = false;
+  return c;
+}
+
+LocalizerConfig reference_config() {
+  LocalizerConfig c;
+  c.topk_mds = false;
+  c.sparse_smacof = false;
+  c.use_edge_cache = false;
+  return c;
+}
+
+void expect_frames_bitwise_equal(const LocalFrame& a, const LocalFrame& b) {
+  ASSERT_EQ(a.members, b.members);
+  ASSERT_EQ(a.coords.size(), b.coords.size());
+  for (std::size_t k = 0; k < a.coords.size(); ++k) {
+    EXPECT_EQ(a.coords[k].x, b.coords[k].x) << "member " << k;
+    EXPECT_EQ(a.coords[k].y, b.coords[k].y) << "member " << k;
+    EXPECT_EQ(a.coords[k].z, b.coords[k].z) << "member " << k;
+  }
+  EXPECT_EQ(a.one_hop_count, b.one_hop_count);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.stress_rms, b.stress_rms);
+}
+
+void check_bitwise_equivalence(const net::Network& net, double error) {
+  const net::NoisyDistanceModel model(net, error, 1);
+  const Localizer optimized(net, model, structural_config());
+  const Localizer reference(net, model, reference_config());
+  for (NodeId v = 0; v < net.num_nodes(); v += 13) {
+    SCOPED_TRACE(static_cast<unsigned>(v));
+    expect_frames_bitwise_equal(optimized.local_frame(v),
+                                reference.local_frame(v));
+    expect_frames_bitwise_equal(optimized.mdsmap_frame(v),
+                                reference.mdsmap_frame(v));
+  }
+}
+
+TEST(LocalizationEquivalence, StructuralOptsBitIdenticalOnSphere) {
+  check_bitwise_equivalence(sphere_network(11), 0.15);
+}
+
+TEST(LocalizationEquivalence, StructuralOptsBitIdenticalOnCubeWithHole) {
+  check_bitwise_equivalence(fig1_network(12), 0.2);
+}
+
+TEST(LocalizationEquivalence, DetectionInvariantAcrossThreadCounts) {
+  // Per-thread scratch arenas must not let work distribution leak into
+  // results: the full noisy pipeline classifies identically at 1/2/8
+  // threads (default config, all optimizations on).
+  const net::Network net = fig1_network(13);
+  const net::NoisyDistanceModel model(net, 0.2, 1);
+  const Localizer localizer(net, model);
+  core::UbfConfig config;
+  config.measurement_error_hint = 0.2;
+  const core::UnitBallFitting ubf(net, config);
+  const std::vector<bool> t1 = ubf.detect(localizer, 1);
+  const std::vector<bool> t2 = ubf.detect(localizer, 2);
+  const std::vector<bool> t8 = ubf.detect(localizer, 8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(LocalizationEquivalence, SparseSmacofMatchesDenseStressPerSweep) {
+  // The CSR sweep must reproduce the dense sweep's stress trajectory bit
+  // for bit — same arithmetic in the same order — and the shared
+  // trajectory must be monotone non-increasing (majorization guarantee).
+  const net::Network net = sphere_network(14);
+  const net::NoisyDistanceModel model(net, 0.1, 2);
+  Rng rng(3);
+  for (NodeId v : {NodeId{0}, NodeId{17}, NodeId{101}}) {
+    SCOPED_TRACE(static_cast<unsigned>(v));
+    std::vector<NodeId> members{v};
+    for (NodeId u : net.neighbors(v)) members.push_back(u);
+    const std::size_t m = members.size();
+    if (m < 4) continue;
+    linalg::Matrix d(m, m, 0.0);
+    linalg::Matrix w(m, m, 0.0);
+    std::vector<Vec3> init(m);
+    for (std::size_t a = 0; a < m; ++a) {
+      init[a] = net.position(members[a]) +
+                Vec3{rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1),
+                     rng.uniform(-0.1, 0.1)};
+      for (std::size_t b = a + 1; b < m; ++b) {
+        if (!net.are_neighbors(members[a], members[b])) continue;
+        d(a, b) = d(b, a) = model.measured_distance(members[a], members[b]);
+        w(a, b) = w(b, a) = 1.0;
+      }
+    }
+    linalg::SmacofConfig sc;
+    sc.max_sweeps = 25;
+    double dense_stress = 0.0, sparse_stress = 0.0;
+    std::vector<double> dense_trace, sparse_trace;
+    const std::vector<Vec3> dense = linalg::smacof_refine(
+        d, w, init, sc, &dense_stress, &dense_trace);
+    const linalg::SmacofProblem problem(d, w);
+    const std::vector<Vec3> sparse =
+        problem.refine(init, sc, &sparse_stress, &sparse_trace);
+
+    ASSERT_FALSE(dense_trace.empty());
+    ASSERT_EQ(dense_trace.size(), sparse_trace.size());
+    for (std::size_t s = 0; s < dense_trace.size(); ++s)
+      EXPECT_EQ(dense_trace[s], sparse_trace[s]) << "sweep " << s;
+    for (std::size_t s = 1; s < sparse_trace.size(); ++s)
+      EXPECT_LE(sparse_trace[s], sparse_trace[s - 1] + 1e-12)
+          << "sweep " << s;
+    EXPECT_EQ(dense_stress, sparse_stress);
+    ASSERT_EQ(dense.size(), sparse.size());
+    for (std::size_t a = 0; a < m; ++a) {
+      EXPECT_EQ(dense[a].x, sparse[a].x);
+      EXPECT_EQ(dense[a].y, sparse[a].y);
+      EXPECT_EQ(dense[a].z, sparse[a].z);
+    }
+  }
+}
+
+TEST(LocalizationEquivalence, TopkMdsStaysWithinNoiseOfDensePath) {
+  // The eigen-path switch changes only the SMACOF *init*; after
+  // refinement both paths must land at embeddings of equivalent quality.
+  // Dense sphere so that plenty of nodes exceed the topk threshold.
+  Rng rng(15);
+  const model::SphereShape shape({0, 0, 0}, 2.5);
+  net::BuildOptions opt;
+  opt.surface_count = 350;
+  opt.interior_count = 600;
+  const net::Network net = net::build_network(shape, opt, rng);
+  const net::NoisyDistanceModel model(net, 0.05, 4);
+
+  LocalizerConfig topk_on;  // defaults: topk_mds = true
+  LocalizerConfig topk_off = topk_on;
+  topk_off.topk_mds = false;
+  const Localizer with_topk(net, model, topk_on);
+  const Localizer without_topk(net, model, topk_off);
+
+  int compared = 0;
+  double err_on = 0.0, err_off = 0.0;
+  for (NodeId v = 0; v < net.num_nodes() && compared < 25; v += 11) {
+    if (net.degree(v) + 1 <= topk_on.topk_mds_threshold) continue;
+    const LocalFrame a = with_topk.local_frame(v);
+    const LocalFrame b = without_topk.local_frame(v);
+    if (!a.ok || !b.ok) continue;
+    err_on += with_topk.frame_rms_error(a);
+    err_off += without_topk.frame_rms_error(b);
+    // Residual stress is the self-calibrated quality signal UBF consumes;
+    // both paths must sit at the same noise-consistent level.
+    EXPECT_NEAR(a.stress_rms, b.stress_rms, 0.05);
+    ++compared;
+  }
+  ASSERT_GE(compared, 10);
+  EXPECT_NEAR(err_on / compared, err_off / compared, 0.05);
+}
+
+}  // namespace
+}  // namespace ballfit::localization

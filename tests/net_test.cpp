@@ -245,5 +245,46 @@ TEST(Measurement, NoiseRoughlyUniform) {
   EXPECT_NEAR(std::sqrt(sum2 / count), e / std::sqrt(3.0), 0.05);
 }
 
+TEST(EdgeMeasurementCache, MatchesModelBitwiseAndAlignsWithAdjacency) {
+  Rng rng(7);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 400; ++i)
+    pos.push_back(geom::Vec3{rng.uniform(0, 5), rng.uniform(0, 5),
+                             rng.uniform(0, 5)});
+  const Network net(pos, std::vector<bool>(pos.size(), false), 1.0);
+  const NoisyDistanceModel model(net, 0.3, 42);
+  const EdgeMeasurementCache cache(model);
+
+  std::size_t entries = 0;
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    const auto nbrs = net.neighbors(i);
+    const double* row = cache.row(i);
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      // Bitwise — the cache is a materialization, not an approximation.
+      EXPECT_EQ(row[a], model.measured_distance(i, nbrs[a]));
+      ++entries;
+    }
+  }
+  EXPECT_EQ(cache.size(), entries);
+}
+
+TEST(EdgeMeasurementCache, SymmetricAcrossDirectedCopies) {
+  const Network net = line_network(50, 0.8);
+  const NoisyDistanceModel model(net, 0.5, 9);
+  const EdgeMeasurementCache cache(model);
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    const auto nbrs = net.neighbors(i);
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      const NodeId j = nbrs[a];
+      const auto back = net.neighbors(j);
+      for (std::size_t b = 0; b < back.size(); ++b) {
+        if (back[b] == i) {
+          EXPECT_EQ(cache.row(i)[a], cache.row(j)[b]);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ballfit::net
