@@ -8,53 +8,60 @@
 
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "sweep.hpp"
 
 using namespace ballfit;
 
 int main(int argc, char** argv) {
-  const auto seed =
-      static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
-  const double scale = bench::double_flag(argc, argv, "--scale", 0.8);
-  const int epct = bench::int_flag(argc, argv, "--error", 30);
+  bench::SweepArgs defaults;
+  defaults.error_pct = 30;
+  const bench::SweepArgs args = bench::parse_sweep_args(argc, argv, defaults);
 
   std::printf("== Ablation: IFF theta/TTL sensitivity (error %d%%) ==\n",
-              epct);
-  const model::Scenario scenario = model::sphere_world(scale);
-  const net::Network network = bench::build_scenario_network(scenario, seed);
+              args.error_pct);
+  const model::Scenario scenario = model::sphere_world(args.scale);
+  const net::Network network =
+      bench::build_scenario_network(scenario, args.seed);
 
-  // Run the expensive UBF stage once; sweep only the (cheap) IFF knobs.
+  // All points share one session, so the expensive measurement/frames/UBF
+  // stages run once and only the (cheap) IFF stage re-runs per point.
   core::PipelineConfig base;
-  base.measurement_error = epct / 100.0;
-  base.noise_seed = seed;
+  base.measurement_error = args.error_pct / 100.0;
+  base.noise_seed = args.seed;
   base.group = false;
-  const core::PipelineResult stage = core::detect_boundaries(network, base);
-  std::printf("UBF candidates: %zu\n", stage.num_candidates());
-
-  Table table({"theta", "TTL", "boundary", "correct", "mistaken", "missing",
-               "msgs"});
+  std::vector<bench::SweepPoint> points;
   for (std::uint32_t theta : {1u, 10u, 20u, 40u}) {
     for (std::uint32_t ttl : {2u, 3u, 4u}) {
-      core::IffConfig icfg;
-      icfg.theta = theta;
-      icfg.ttl = ttl;
-      sim::RunStats cost;
-      const auto boundary =
-          core::iff_filter(network, stage.ubf_candidates, icfg, &cost);
-      const core::DetectionStats s =
-          core::evaluate_detection(network, boundary);
-      std::size_t kept = 0;
-      for (bool b : boundary) kept += b;
-      table.add_row({std::to_string(theta), std::to_string(ttl),
-                     std::to_string(kept),
-                     format_percent(s.correct_rate()),
-                     format_percent(s.mistaken_rate()),
-                     format_percent(s.missing_rate()),
-                     std::to_string(cost.messages)});
+      core::PipelineConfig cfg = base;
+      cfg.iff.theta = theta;
+      cfg.iff.ttl = ttl;
+      points.push_back(
+          {std::to_string(theta) + "/" + std::to_string(ttl), cfg});
     }
   }
+
+  bool printed_candidates = false;
+  Table table({"theta", "TTL", "boundary", "correct", "mistaken", "missing",
+               "msgs"});
+  bench::run_sweep(
+      network, points,
+      [&](const bench::SweepPoint& point, const core::PipelineResult& result,
+          double /*seconds*/) {
+        if (!printed_candidates) {
+          std::printf("UBF candidates: %zu\n", result.num_candidates());
+          printed_candidates = true;
+        }
+        const core::DetectionStats s =
+            core::evaluate_detection(network, result.boundary);
+        const core::IffConfig& icfg = point.config.iff;
+        table.add_row({std::to_string(icfg.theta), std::to_string(icfg.ttl),
+                       std::to_string(result.num_boundary()),
+                       format_percent(s.correct_rate()),
+                       format_percent(s.mistaken_rate()),
+                       format_percent(s.missing_rate()),
+                       std::to_string(result.iff_cost.messages)});
+      });
   table.print();
   std::printf("\n(theta=1 disables filtering; theta=20 / TTL=3 are the "
               "paper's icosahedron-derived defaults.)\n");

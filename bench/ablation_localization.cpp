@@ -9,29 +9,30 @@
 
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "sweep.hpp"
 
 using namespace ballfit;
 
 int main(int argc, char** argv) {
-  const auto seed =
-      static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
-  const double scale = bench::double_flag(argc, argv, "--scale", 0.75);
-  const int step = bench::int_flag(argc, argv, "--step", 25);
+  bench::SweepArgs defaults;
+  defaults.scale = 0.75;
+  const bench::SweepArgs args = bench::parse_sweep_args(argc, argv, defaults);
 
   std::printf("== Ablation: localization substrate ==\n");
-  const model::Scenario scenario = model::sphere_world(scale);
-  const net::Network network = bench::build_scenario_network(scenario, seed);
+  const model::Scenario scenario = model::sphere_world(args.scale);
+  const net::Network network =
+      bench::build_scenario_network(scenario, args.seed);
 
-  Table table({"coords", "error", "found", "correct", "mistaken", "missing"});
-
-  for (int epct = 0; epct <= 50; epct += step) {
+  // Session reuse here: within one error level the 2-hop and 1-hop modes
+  // share the measurement model and only rebuild frames.
+  std::vector<bench::SweepPoint> points;
+  std::vector<int> errors;
+  for (int epct = 0; epct <= 50; epct += args.step_pct) {
     for (int mode = 0; mode < 3; ++mode) {
       core::PipelineConfig cfg;
       cfg.measurement_error = epct / 100.0;
-      cfg.noise_seed = seed;
+      cfg.noise_seed = args.seed;
       std::string name;
       if (mode == 0) {
         cfg.use_true_coordinates = true;
@@ -44,14 +45,25 @@ int main(int argc, char** argv) {
       }
       // True coordinates do not depend on the error level; print once.
       if (mode == 0 && epct > 0) continue;
-      const core::DetectionStats s = core::detect_and_evaluate(network, cfg);
-      table.add_row({name, std::to_string(epct) + "%",
-                     format_percent(s.found_rate()),
-                     format_percent(s.correct_rate()),
-                     format_percent(s.mistaken_rate()),
-                     format_percent(s.missing_rate())});
+      points.push_back({name, cfg});
+      errors.push_back(epct);
     }
   }
+
+  Table table({"coords", "error", "found", "correct", "mistaken", "missing"});
+  std::size_t index = 0;
+  bench::run_sweep(
+      network, points,
+      [&](const bench::SweepPoint& point, const core::PipelineResult& result,
+          double /*seconds*/) {
+        const core::DetectionStats s =
+            core::evaluate_detection(network, result.boundary);
+        table.add_row({point.label, std::to_string(errors[index++]) + "%",
+                       format_percent(s.found_rate()),
+                       format_percent(s.correct_rate()),
+                       format_percent(s.mistaken_rate()),
+                       format_percent(s.missing_rate())});
+      });
   table.print();
   return 0;
 }

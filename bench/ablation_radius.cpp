@@ -10,18 +10,16 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
 #include "model/csg.hpp"
 #include "model/shapes.hpp"
+#include "sweep.hpp"
 
 using namespace ballfit;
 using geom::Vec3;
 
 int main(int argc, char** argv) {
-  const auto seed =
-      static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
+  const bench::SweepArgs args = bench::parse_sweep_args(argc, argv);
 
   std::printf("== Ablation: ball radius vs hole size ==\n");
   const double kSmallHole = 1.3;
@@ -36,44 +34,50 @@ int main(int argc, char** argv) {
       std::make_shared<model::DifferenceShape>(
           box, std::vector<model::ShapePtr>{small_hole, large_hole}),
       2};
-  const net::Network network = bench::build_scenario_network(scenario, seed);
+  const net::Network network = bench::build_scenario_network(scenario, args.seed);
 
   // Classify true boundary nodes by which surface they sit on.
   auto on_sphere = [&](net::NodeId v, const Vec3& c, double r) {
     return std::fabs(network.position(v).distance_to(c) - r) < 1e-5;
   };
 
-  Table table({"r", "outer%", "small-hole%", "large-hole%"});
+  std::vector<bench::SweepPoint> points;
   for (double r : {1.0 + 1e-6, 1.2, 1.5, 1.8, 2.1}) {
     core::PipelineConfig cfg;
     cfg.use_true_coordinates = true;
     cfg.ubf.radius_override = r;
     // Bigger test balls mean bigger minimal fragments; keep IFF at its
     // default θ — selectivity comes from the radius alone here.
-    const core::PipelineResult result = core::detect_boundaries(network, cfg);
-
-    std::size_t outer_t = 0, outer_f = 0, small_t = 0, small_f = 0,
-                large_t = 0, large_f = 0;
-    for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
-      if (!network.is_ground_truth_boundary(v)) continue;
-      if (on_sphere(v, {3.0, 3.0, 4.0}, kSmallHole)) {
-        ++small_t;
-        small_f += result.boundary[v];
-      } else if (on_sphere(v, {7.0, 7.0, 4.0}, kLargeHole)) {
-        ++large_t;
-        large_f += result.boundary[v];
-      } else {
-        ++outer_t;
-        outer_f += result.boundary[v];
-      }
-    }
-    auto pct = [](std::size_t f, std::size_t t) {
-      return t == 0 ? std::string("-")
-                    : format_percent(double(f) / double(t), 0);
-    };
-    table.add_row({format_double(r, 2), pct(outer_f, outer_t),
-                   pct(small_f, small_t), pct(large_f, large_t)});
+    points.push_back({format_double(r, 2), cfg});
   }
+
+  Table table({"r", "outer%", "small-hole%", "large-hole%"});
+  bench::run_sweep(
+      network, points,
+      [&](const bench::SweepPoint& point, const core::PipelineResult& result,
+          double /*seconds*/) {
+        std::size_t outer_t = 0, outer_f = 0, small_t = 0, small_f = 0,
+                    large_t = 0, large_f = 0;
+        for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
+          if (!network.is_ground_truth_boundary(v)) continue;
+          if (on_sphere(v, {3.0, 3.0, 4.0}, kSmallHole)) {
+            ++small_t;
+            small_f += result.boundary[v];
+          } else if (on_sphere(v, {7.0, 7.0, 4.0}, kLargeHole)) {
+            ++large_t;
+            large_f += result.boundary[v];
+          } else {
+            ++outer_t;
+            outer_f += result.boundary[v];
+          }
+        }
+        auto pct = [](std::size_t f, std::size_t t) {
+          return t == 0 ? std::string("-")
+                        : format_percent(double(f) / double(t), 0);
+        };
+        table.add_row({point.label, pct(outer_f, outer_t),
+                       pct(small_f, small_t), pct(large_f, large_t)});
+      });
   table.print();
   std::printf("\n(Expected: the small hole (radius %.1f) stops reporting "
               "once r > %.1f; the large hole (radius %.1f) and the outer "

@@ -13,23 +13,19 @@
 #include "baselines/centralized_ball.hpp"
 #include "baselines/degree_threshold.hpp"
 #include "baselines/isoset.hpp"
-#include "bench_util.hpp"
-#include "common/stopwatch.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "sweep.hpp"
 
 using namespace ballfit;
 
 int main(int argc, char** argv) {
-  const auto seed =
-      static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
-  const double scale = bench::double_flag(argc, argv, "--scale", 0.8);
-  const int epct = bench::int_flag(argc, argv, "--error", 0);
+  const bench::SweepArgs args = bench::parse_sweep_args(argc, argv);
 
   std::printf("== Ablation: emptiness scope + baselines (error %d%%) ==\n",
-              epct);
-  const model::Scenario scenario = model::sphere_world(scale);
-  const net::Network network = bench::build_scenario_network(scenario, seed);
+              args.error_pct);
+  const model::Scenario scenario = model::sphere_world(args.scale);
+  const net::Network network =
+      bench::build_scenario_network(scenario, args.seed);
 
   Table table({"detector", "found", "correct", "mistaken", "missing",
                "seconds"});
@@ -43,23 +39,23 @@ int main(int argc, char** argv) {
                    format_double(seconds, 1)});
   };
 
+  // The two UBF variants share one session: the one-hop run reuses the
+  // measurement model built for the two-hop run and only rebuilds frames.
+  std::vector<bench::SweepPoint> points;
   {
-    Stopwatch t;
     core::PipelineConfig cfg;
-    cfg.measurement_error = epct / 100.0;
-    cfg.noise_seed = seed;
-    const auto r = core::detect_boundaries(network, cfg);
-    report("ubf-two-hop (default)", r.boundary, t.elapsed_seconds());
-  }
-  {
-    Stopwatch t;
-    core::PipelineConfig cfg;
-    cfg.measurement_error = epct / 100.0;
-    cfg.noise_seed = seed;
+    cfg.measurement_error = args.error_pct / 100.0;
+    cfg.noise_seed = args.seed;
+    points.push_back({"ubf-two-hop (default)", cfg});
     cfg.ubf.scope = core::UbfConfig::EmptinessScope::kOneHop;
-    const auto r = core::detect_boundaries(network, cfg);
-    report("ubf-one-hop (literal Alg.1)", r.boundary, t.elapsed_seconds());
+    points.push_back({"ubf-one-hop (literal Alg.1)", cfg});
   }
+  bench::run_sweep(network, points,
+                   [&](const bench::SweepPoint& point,
+                       const core::PipelineResult& r, double seconds) {
+                     report(point.label, r.boundary, seconds);
+                   });
+
   {
     Stopwatch t;
     const auto flags = baselines::centralized_ball_detect(network);
@@ -74,7 +70,7 @@ int main(int argc, char** argv) {
     Stopwatch t;
     baselines::IsosetConfig cfg;
     cfg.num_beacons = 8;
-    cfg.seed = seed;
+    cfg.seed = args.seed;
     const auto flags = baselines::isoset_detect(network, cfg);
     report("isoset-8-beacons", flags, t.elapsed_seconds());
   }

@@ -10,6 +10,10 @@
 ///   - `pipeline.local_frames` — the per-node MDS-MAP frame build of the
 ///     noisy-coordinates pipeline (the headline workload's dominant cost),
 ///     at a reduced scale so a rep stays under ~2 s.
+///   - `pipeline.sweep_reuse` — a 5-point ε sweep through one
+///     `core::DetectionSession` (the frames are ε-independent and are
+///     reused), timed end-to-end and additionally required to beat five
+///     fresh `detect_boundaries` calls by ≥ 2x.
 ///
 ///   bench_compare --out BENCH_$(git rev-parse --short=12 HEAD).json
 ///                 --against bench/baselines/BENCH_<sha>.json
@@ -26,7 +30,7 @@
 ///
 /// Flags: --scale S (default 1.0)  --reps N (default 7)
 ///        --frames-scale S (default 0.35)  --frames-reps N (default 3)
-///        --frames-error E (default 0.2)
+///        --frames-error E (default 0.2)  --sweep-reps N (default 3)
 ///        --out PATH  --against PATH  --threshold F
 
 #include <algorithm>
@@ -39,6 +43,7 @@
 
 #include "bench_util.hpp"
 #include "common/buildinfo.hpp"
+#include "core/session.hpp"
 #include "core/ubf.hpp"
 #include "localization/local_frame.hpp"
 #include "model/zoo.hpp"
@@ -188,6 +193,7 @@ int main(int argc, char** argv) {
   const double frames_scale = double_flag(argc, argv, "--frames-scale", 0.35);
   const int frames_reps = int_flag(argc, argv, "--frames-reps", 3);
   const double frames_error = double_flag(argc, argv, "--frames-error", 0.2);
+  const int sweep_reps = int_flag(argc, argv, "--sweep-reps", 3);
   const double threshold = double_flag(argc, argv, "--threshold", 0.15);
   const std::string sha = git_sha();
   const std::string out_path =
@@ -274,6 +280,90 @@ int main(int argc, char** argv) {
     std::printf("%s: best %.2f ms, mean %.2f ms over %d reps (boundary=%zu)\n",
                 rec.name.c_str(), rec.best_ms, rec.mean_ms, rec.reps,
                 rec.boundary_nodes);
+    records.push_back(rec);
+  }
+
+  // Kernel 3: the session-cached config sweep — five ε points through one
+  // DetectionSession on the same scenario as kernel 2. The local frames
+  // are ε-independent, so the session builds them once and only the ball
+  // tests + IFF re-run per point; the gate locks that reuse in. A fresh
+  // per-config sweep (five full detect_boundaries calls) is timed once as
+  // the reference; the session sweep must (a) produce bit-identical
+  // boundaries per point and (b) beat the fresh sweep by >= 2x.
+  {
+    const model::Scenario scenario = model::fig1_network(frames_scale);
+    const net::Network network =
+        bench::build_scenario_network(scenario, /*seed=*/1, 18.8);
+    const double kEpsilons[] = {1e-6, 0.05, 0.1, 0.15, 0.2};
+
+    auto config_for = [&](double eps) {
+      core::PipelineConfig cfg;
+      cfg.measurement_error = frames_error;
+      cfg.noise_seed = 1;
+      cfg.threads = 1;
+      cfg.ubf.epsilon = eps;
+      return cfg;
+    };
+
+    KernelRecord rec;
+    rec.name = "pipeline.sweep_reuse";
+    rec.scenario_name = scenario.name;
+    rec.scale = frames_scale;
+    rec.nodes = network.num_nodes();
+    rec.avg_degree = avg_degree_of(network);
+    rec.reps = sweep_reps;
+
+    std::size_t session_boundary = 0;
+    for (int rep = 0; rep < sweep_reps; ++rep) {
+      core::DetectionSession session(network);
+      std::size_t boundary_sum = 0;
+      const auto t0 = Clock::now();
+      for (const double eps : kEpsilons) {
+        boundary_sum += session.run(config_for(eps)).num_boundary();
+      }
+      const auto t1 = Clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      rec.mean_ms += ms;
+      if (rep == 0 || ms < rec.best_ms) rec.best_ms = ms;
+      session_boundary = boundary_sum;
+      std::printf("%s rep %d: %.2f ms (boundary sum=%zu)\n", rec.name.c_str(),
+                  rep, ms, boundary_sum);
+    }
+    rec.mean_ms /= sweep_reps;
+    rec.boundary_nodes = session_boundary;
+
+    // Reference: the pre-session workflow, one fresh pipeline per config.
+    std::size_t fresh_boundary = 0;
+    const auto f0 = Clock::now();
+    for (const double eps : kEpsilons) {
+      fresh_boundary +=
+          core::detect_boundaries(network, config_for(eps)).num_boundary();
+    }
+    const auto f1 = Clock::now();
+    const double fresh_ms =
+        std::chrono::duration<double, std::milli>(f1 - f0).count();
+
+    if (fresh_boundary != session_boundary) {
+      std::fprintf(stderr,
+                   "SESSION DRIFT: session sweep classifies %zu boundary "
+                   "nodes total vs %zu from fresh runs — the cache changed "
+                   "the answer\n",
+                   session_boundary, fresh_boundary);
+      return 1;
+    }
+    const double speedup = fresh_ms / rec.best_ms;
+    std::printf("%s: best %.2f ms, mean %.2f ms over %d reps; fresh sweep "
+                "%.2f ms -> %.2fx reuse speedup (boundary sum=%zu)\n",
+                rec.name.c_str(), rec.best_ms, rec.mean_ms, rec.reps, fresh_ms,
+                speedup, rec.boundary_nodes);
+    if (speedup < 2.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: session sweep only %.2fx faster than fresh "
+                   "per-config runs (contract: >= 2x)\n",
+                   speedup);
+      return 1;
+    }
     records.push_back(rec);
   }
 

@@ -3,6 +3,7 @@
 /// \file bench_util.hpp
 /// Shared helpers for the figure-reproduction harnesses.
 
+#include <cinttypes>
 #include <cstdio>
 #include <string>
 
@@ -34,11 +35,10 @@ inline net::Network build_scenario_network(const model::Scenario& scenario,
   net::Network network =
       net::build_network(*scenario.shape, options, rng, &diag);
   std::printf("[%s] %zu nodes (%zu surface / %zu interior requested), "
-              "avg degree %.1f (min %zu max %zu), seed %llu\n",
+              "avg degree %.1f (min %zu max %zu), seed %" PRIu64 "\n",
               scenario.name.c_str(), network.num_nodes(),
               options.surface_count, options.interior_count,
-              diag.average_degree, diag.min_degree, diag.max_degree,
-              static_cast<unsigned long long>(seed));
+              diag.average_degree, diag.min_degree, diag.max_degree, seed);
   return network;
 }
 

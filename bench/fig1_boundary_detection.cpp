@@ -8,8 +8,8 @@
 ///              the nearest correctly identified boundary node.
 ///   Fig. 1(i): the same distribution for missing nodes.
 ///
-/// Flags: --step <pct> (default 20), --seed <n>, --scale <x> (default 1.0,
-/// the paper's 4210-node operating point), --out <path> (default
+/// Flags: --step <pct> (default 20), --seed <n>, --scale <x> (default 0.8;
+/// pass 1.0 for the paper's 4210-node operating point), --out <path> (default
 /// bench_results.json — per-run telemetry: per-stage timings, message
 /// costs, detection stats).
 

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Shared config-sweep harness for the ablation benches: flag parsing →
+/// network build → config loop, with every point served by one
+/// `core::DetectionSession` so stages whose inputs did not change between
+/// points (measurement model, local frames, UBF flags) are reused instead
+/// of recomputed. Session runs are bit-identical to fresh
+/// `detect_boundaries` calls per config, so migrating a bench here changes
+/// its wall-clock, never its numbers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "core/session.hpp"
+
+namespace ballfit::bench {
+
+/// The flag surface shared by the sweep benches. Each bench overrides the
+/// defaults it documents; flags absent from a bench's doc line simply keep
+/// their default.
+struct SweepArgs {
+  std::uint64_t seed = 1;
+  double scale = 0.8;
+  int error_pct = 0;
+  int step_pct = 25;
+};
+
+/// Parses --seed / --scale / --error / --step over `defaults`.
+inline SweepArgs parse_sweep_args(int argc, char** argv,
+                                  SweepArgs defaults = {}) {
+  SweepArgs args = defaults;
+  args.seed = static_cast<std::uint64_t>(
+      int_flag(argc, argv, "--seed", static_cast<int>(defaults.seed)));
+  args.scale = double_flag(argc, argv, "--scale", defaults.scale);
+  args.error_pct = int_flag(argc, argv, "--error", defaults.error_pct);
+  args.step_pct = int_flag(argc, argv, "--step", defaults.step_pct);
+  return args;
+}
+
+/// One sweep point: a display label + the full config to run.
+struct SweepPoint {
+  std::string label;
+  core::PipelineConfig config;
+};
+
+/// Runs every point through one `DetectionSession` bound to `network`,
+/// invoking `consume(point, result, seconds)` per point in order. Returns
+/// the session stats so harnesses can report the reuse profile.
+template <typename Consume>
+core::SessionStats run_sweep(const net::Network& network,
+                             const std::vector<SweepPoint>& points,
+                             Consume&& consume) {
+  core::DetectionSession session(network);
+  for (const SweepPoint& point : points) {
+    Stopwatch timer;
+    const core::PipelineResult result = session.run(point.config);
+    consume(point, result, timer.elapsed_seconds());
+  }
+  return session.stats();
+}
+
+}  // namespace ballfit::bench

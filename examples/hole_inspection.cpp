@@ -4,7 +4,9 @@
 /// The example identifies all boundaries, separates the inner holes from
 /// the outer boundary via grouping, and estimates each hole's position and
 /// size from its boundary nodes — the kind of product a monitoring
-/// application would consume.
+/// application would consume. It then crashes a patch of sensors and uses
+/// the session's incremental re-detection to refresh the boundary without
+/// recomputing the whole network.
 ///
 /// Usage: hole_inspection [error_fraction] [seed]
 
@@ -14,9 +16,9 @@
 
 #include "common/rng.hpp"
 #include "common/strings.hpp"
-#include "core/pipeline.hpp"
+#include "core/session.hpp"
 #include "mesh/obj_export.hpp"
-#include "mesh/surface_builder.hpp"
+#include "mesh/surface_stage.hpp"
 #include "model/zoo.hpp"
 #include "net/builder.hpp"
 
@@ -42,7 +44,8 @@ int main(int argc, char** argv) {
   core::PipelineConfig config;
   config.measurement_error = error;
   config.noise_seed = seed;
-  const core::PipelineResult result = core::detect_boundaries(network, config);
+  core::DetectionSession session(network);
+  const core::PipelineResult result = session.run(config);
 
   // The largest group is the outer boundary; every other substantial group
   // is an internal hole. Report each hole's centroid and mean radius
@@ -71,10 +74,32 @@ int main(int argc, char** argv) {
                 centroid.x, centroid.y, centroid.z, mean_r);
   }
 
-  const mesh::SurfaceResult surfaces =
-      mesh::build_surfaces(network, result.boundary, result.groups);
+  mesh::SurfaceStage surface_stage;
+  const mesh::SurfaceResult& surfaces = surface_stage.run(session, result);
   mesh::write_obj(surfaces, "hole_inspection.obj");
   std::printf("wrote hole_inspection.obj (%zu surfaces)\n",
               surfaces.surfaces.size());
+
+  // A patch of sensors fails mid-mission. Incremental re-detection only
+  // rebuilds the local frames whose two-hop neighborhoods changed; the rest
+  // of the network's localization work is reused.
+  // One localized patch of failures (a drifting contaminant knocking out a
+  // cluster), not scattered singletons: the dirty region stays proportional
+  // to the damage.
+  Rng crash_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const auto patch_center = static_cast<net::NodeId>(
+      crash_rng.uniform_index(network.num_nodes()));
+  core::NetworkDelta delta;
+  delta.crashed.push_back(patch_center);
+  for (const net::NodeId v : network.neighbors(patch_center)) {
+    delta.crashed.push_back(v);
+  }
+  session.apply(delta);
+  const core::PipelineResult after = session.run(config);
+  std::printf("after crashing %zu sensors: %zu boundary nodes "
+              "(rebuilt %zu/%zu frames, retested %zu nodes)\n",
+              delta.crashed.size(), after.num_boundary(),
+              session.stats().last_frames_rebuilt, network.num_nodes(),
+              session.stats().last_nodes_retested);
   return 0;
 }

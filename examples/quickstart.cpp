@@ -7,6 +7,7 @@
 ///
 /// Usage: quickstart [measurement_error_fraction] [seed]
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
@@ -26,9 +27,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 
   std::printf("== ballfit quickstart: sphere network, %s distance error, "
-              "seed %llu ==\n",
-              format_percent(error, 0).c_str(),
-              static_cast<unsigned long long>(seed));
+              "seed %" PRIu64 " ==\n",
+              format_percent(error, 0).c_str(), seed);
 
   // 1. Build the network: nodes on the sphere surface (ground truth
   //    boundary) plus an interior cloud, unit-disk radio links.

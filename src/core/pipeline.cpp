@@ -1,11 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
-#include <optional>
 
-#include "common/parallel.hpp"
-#include "localization/local_frame.hpp"
-#include "obs/trace.hpp"
+#include "core/session.hpp"
 
 namespace ballfit::core {
 
@@ -19,141 +16,13 @@ std::size_t PipelineResult::num_boundary() const {
       std::count(boundary.begin(), boundary.end(), true));
 }
 
-namespace {
-
-/// Phase-1 detection on an arbitrary network (the full one, or the
-/// surviving subnetwork under crashes). Returns the per-node flags and
-/// counts frame fallbacks.
-std::vector<bool> run_ubf(const net::Network& network,
-                          const PipelineConfig& config,
-                          const UbfConfig& ubf_config, unsigned threads,
-                          std::size_t* frame_fallbacks) {
-  const UnitBallFitting ubf(network, ubf_config);
-  if (config.use_true_coordinates) {
-    BALLFIT_SPAN("ubf");
-    return ubf.detect_with_true_coordinates(frame_fallbacks);
-  }
-  std::optional<net::NoisyDistanceModel> model;
-  std::optional<localization::Localizer> localizer;
-  {
-    BALLFIT_SPAN("measurement");
-    model.emplace(network, config.measurement_error, config.noise_seed);
-    localizer.emplace(network, *model);
-  }
-  BALLFIT_SPAN("ubf");
-  return ubf.detect(*localizer, threads, frame_fallbacks);
-}
-
-}  // namespace
-
 PipelineResult detect_boundaries(const net::Network& network,
                                  const PipelineConfig& config) {
-  BALLFIT_SPAN("pipeline");
-  PipelineResult result;
-  const std::size_t n = network.num_nodes();
-  const unsigned threads =
-      config.threads == 0 ? default_threads() : config.threads;
-
-  // One fault model spans every communication stage of this run, so its
-  // crash clock and loss streams are continuous across IFF and grouping.
-  std::optional<sim::FaultModel> fault_model;
-  sim::ProtocolOptions proto;
-  if (config.faults) {
-    fault_model.emplace(*config.faults, n);
-    proto.faults = &*fault_model;
-    proto.repeat = config.flood_repeat;
-  }
-
-  // Nodes know their ranging error specification; the UBF emptiness slack
-  // scales with it unless the caller already set a hint explicitly.
-  UbfConfig ubf_config = config.ubf;
-  if (ubf_config.measurement_error_hint == 0.0 &&
-      !config.use_true_coordinates) {
-    ubf_config.measurement_error_hint = config.measurement_error;
-  }
-  // Under faults a frame that cannot be built votes non-boundary: the
-  // optimistic default would promote every crash-starved neighborhood to
-  // "boundary" and flood the result with false positives. An inert fault
-  // config keeps the reliable semantics — the hook alone must not change
-  // any output bit.
-  if (config.faults && config.faults->any()) {
-    ubf_config.degenerate_is_boundary = false;
-  }
-
-  // --- Phase 1: Unit Ball Fitting on per-node local frames. The per-node
-  // work (local MDS + ball tests) is independent and read-only, so it is
-  // split across threads; vector<bool> is not safe for concurrent writes,
-  // hence the char staging buffer (inside UnitBallFitting::detect).
-  if (fault_model && fault_model->num_down() > 0) {
-    // Crashed nodes contribute no measurements and run no test: Phase 1
-    // operates on the subnetwork induced by the survivors. Neighborhoods
-    // shrink accordingly — nodes starved below the embeddable minimum are
-    // the frame_fallbacks counted here.
-    std::vector<net::NodeId> alive;
-    alive.reserve(n);
-    for (net::NodeId v = 0; v < n; ++v) {
-      if (!fault_model->is_down(v)) alive.push_back(v);
-    }
-    result.ubf_candidates.assign(n, false);
-    if (!alive.empty()) {
-      std::vector<geom::Vec3> positions;
-      std::vector<bool> truth;
-      positions.reserve(alive.size());
-      truth.reserve(alive.size());
-      for (net::NodeId v : alive) {
-        positions.push_back(network.position(v));
-        truth.push_back(network.is_ground_truth_boundary(v));
-      }
-      net::Network survivors(std::move(positions), std::move(truth),
-                             network.radio_range());
-      const std::vector<bool> sub_flags =
-          run_ubf(survivors, config, ubf_config, threads,
-                  &result.frame_fallbacks);
-      for (std::size_t i = 0; i < alive.size(); ++i) {
-        result.ubf_candidates[alive[i]] = sub_flags[i];
-      }
-    }
-  } else {
-    result.ubf_candidates =
-        run_ubf(network, config, ubf_config, threads,
-                &result.frame_fallbacks);
-  }
-
-  // --- Phase 2: Isolated Fragment Filtering.
-  {
-    BALLFIT_SPAN("iff");
-    result.boundary = iff_filter(network, result.ubf_candidates, config.iff,
-                                 &result.iff_cost, proto);
-  }
-
-  // --- Grouping.
-  if (config.group) {
-    BALLFIT_SPAN("grouping");
-    result.groups =
-        group_boundaries(network, result.boundary,
-                         config.iff.use_message_passing,
-                         &result.grouping_cost, proto);
-  }
-
-  if (fault_model) {
-    result.crashed_nodes = fault_model->num_down();
-    result.fault_stats = fault_model->stats();
-  }
-
-  if (obs::enabled()) {
-    obs::Registry& reg = obs::Registry::global();
-    reg.counter("pipeline.runs").add(1);
-    reg.counter("pipeline.nodes").add(network.num_nodes());
-    reg.counter("pipeline.ubf_candidates").add(result.num_candidates());
-    reg.counter("pipeline.boundary_nodes").add(result.num_boundary());
-    reg.counter("pipeline.frame_fallbacks").add(result.frame_fallbacks);
-    if (fault_model) {
-      reg.counter("pipeline.crashed_nodes").add(result.crashed_nodes);
-      reg.counter("pipeline.dropped").add(result.fault_stats.dropped);
-      reg.counter("pipeline.duplicated").add(result.fault_stats.duplicated);
-    }
-  }
-  return result;
+  // One-shot wrapper over the staged engine: a fresh session's first run
+  // misses every cache, which is exactly the legacy monolithic pipeline
+  // (bit-identical outputs, same span tree and pipeline.* counters).
+  DetectionSession session(network);
+  return session.run(config);
 }
 
 DetectionStats detect_and_evaluate(const net::Network& network,

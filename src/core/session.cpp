@@ -1,0 +1,566 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+#include "net/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ballfit::core {
+
+namespace {
+
+/// FNV-1a accumulator for stage fingerprints. Doubles are mixed by bit
+/// pattern, so a fingerprint match means the inputs were byte-identical —
+/// exactly the contract the bit-identity guarantee needs.
+class Fingerprint {
+ public:
+  void u64(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h_ ^= (v >> (8 * b)) & 0xffu;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void boolean(bool v) { u64(v ? 1u : 0u); }
+  void flags(const std::vector<bool>& f) {
+    u64(f.size());
+    std::uint64_t acc = 0;
+    int bits = 0;
+    for (const bool x : f) {
+      acc = (acc << 1) | (x ? 1u : 0u);
+      if (++bits == 64) {
+        u64(acc);
+        acc = 0;
+        bits = 0;
+      }
+    }
+    if (bits > 0) u64(acc);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// Every UbfConfig field the per-node ball test reads, except the
+/// degenerate vote — that one only reaches nodes without a usable frame,
+/// which join every partial run, so it lives in the exact-hit key only.
+void mix_ubf_core(Fingerprint& fp, const UbfConfig& c) {
+  fp.f64(c.epsilon);
+  fp.f64(c.radius_override);
+  fp.f64(c.inside_tolerance);
+  fp.f64(c.two_hop_inside_margin);
+  fp.f64(c.measurement_error_hint);
+  fp.f64(c.noise_margin_factor);
+  fp.f64(c.noise_margin_cap);
+  fp.u64(c.min_empty_balls);
+  fp.f64(c.stress_gate_factor);
+  fp.f64(c.stress_gate_floor);
+  fp.boolean(c.cross_verify);
+  fp.u64(c.verify_pool);
+  fp.u64(c.scope == UbfConfig::EmptinessScope::kTwoHop ? 1u : 0u);
+}
+
+std::size_t count_marks(const std::vector<char>& mask) {
+  return static_cast<std::size_t>(
+      std::count(mask.begin(), mask.end(), static_cast<char>(1)));
+}
+
+void note_stage(const char* stage, const char* kind) {
+  if (!obs::enabled()) return;
+  obs::Registry::global()
+      .counter(std::string("session.") + stage + "." + kind)
+      .add(1);
+}
+
+/// Phase-1 detection on an arbitrary network (the full one, or the
+/// surviving subnetwork under crashes). Returns the per-node flags and
+/// counts frame fallbacks. Fault-path only — cached runs go through the
+/// stage units below.
+std::vector<bool> run_ubf(const net::Network& network,
+                          const PipelineConfig& config,
+                          const UbfConfig& ubf_config, unsigned threads,
+                          std::size_t* frame_fallbacks) {
+  const UnitBallFitting ubf(network, ubf_config);
+  if (config.use_true_coordinates) {
+    BALLFIT_SPAN("ubf");
+    return ubf.detect_with_true_coordinates(frame_fallbacks);
+  }
+  std::optional<net::NoisyDistanceModel> model;
+  std::optional<localization::Localizer> localizer;
+  {
+    BALLFIT_SPAN("measurement");
+    model.emplace(network, config.measurement_error, config.noise_seed);
+    localizer.emplace(network, *model);
+  }
+  BALLFIT_SPAN("ubf");
+  return ubf.detect(*localizer, threads, frame_fallbacks);
+}
+
+/// The legacy fault-injected pipeline, preserved verbatim: one fault model
+/// spans every communication stage, crashed nodes drop out via a survivor
+/// subnetwork, and nothing is cached — the fault RNG streams are
+/// call-order dependent, so these runs are not pure functions of the
+/// config. Bit-identical to the pre-session `detect_boundaries`.
+PipelineResult run_pipeline_with_faults(const net::Network& network,
+                                        const PipelineConfig& config,
+                                        unsigned threads) {
+  PipelineResult result;
+  const std::size_t n = network.num_nodes();
+
+  // One fault model spans every communication stage of this run, so its
+  // crash clock and loss streams are continuous across IFF and grouping.
+  sim::FaultModel fault_model(*config.faults, n);
+  sim::ProtocolOptions proto;
+  proto.faults = &fault_model;
+  proto.repeat = config.flood_repeat;
+
+  // Nodes know their ranging error specification; the UBF emptiness slack
+  // scales with it unless the caller already set a hint explicitly.
+  UbfConfig ubf_config = config.ubf;
+  if (ubf_config.measurement_error_hint == 0.0 &&
+      !config.use_true_coordinates) {
+    ubf_config.measurement_error_hint = config.measurement_error;
+  }
+  // Under faults a frame that cannot be built votes non-boundary: the
+  // optimistic default would promote every crash-starved neighborhood to
+  // "boundary" and flood the result with false positives. An inert fault
+  // config keeps the reliable semantics — the hook alone must not change
+  // any output bit.
+  if (config.faults->any()) {
+    ubf_config.degenerate_is_boundary = false;
+  }
+
+  // --- Phase 1: Unit Ball Fitting on per-node local frames.
+  if (fault_model.num_down() > 0) {
+    // Crashed nodes contribute no measurements and run no test: Phase 1
+    // operates on the subnetwork induced by the survivors. Neighborhoods
+    // shrink accordingly — nodes starved below the embeddable minimum are
+    // the frame_fallbacks counted here.
+    std::vector<net::NodeId> alive;
+    alive.reserve(n);
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (!fault_model.is_down(v)) alive.push_back(v);
+    }
+    result.ubf_candidates.assign(n, false);
+    if (!alive.empty()) {
+      std::vector<geom::Vec3> positions;
+      std::vector<bool> truth;
+      positions.reserve(alive.size());
+      truth.reserve(alive.size());
+      for (net::NodeId v : alive) {
+        positions.push_back(network.position(v));
+        truth.push_back(network.is_ground_truth_boundary(v));
+      }
+      net::Network survivors(std::move(positions), std::move(truth),
+                             network.radio_range());
+      const std::vector<bool> sub_flags =
+          run_ubf(survivors, config, ubf_config, threads,
+                  &result.frame_fallbacks);
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        result.ubf_candidates[alive[i]] = sub_flags[i];
+      }
+    }
+  } else {
+    result.ubf_candidates =
+        run_ubf(network, config, ubf_config, threads,
+                &result.frame_fallbacks);
+  }
+
+  // --- Phase 2: Isolated Fragment Filtering.
+  {
+    BALLFIT_SPAN("iff");
+    result.boundary = iff_filter(network, result.ubf_candidates, config.iff,
+                                 &result.iff_cost, proto);
+  }
+
+  // --- Grouping.
+  if (config.group) {
+    BALLFIT_SPAN("grouping");
+    result.groups =
+        group_boundaries(network, result.boundary,
+                         config.iff.use_message_passing,
+                         &result.grouping_cost, proto);
+  }
+
+  result.crashed_nodes = fault_model.num_down();
+  result.fault_stats = fault_model.stats();
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("pipeline.runs").add(1);
+    reg.counter("pipeline.nodes").add(network.num_nodes());
+    reg.counter("pipeline.ubf_candidates").add(result.num_candidates());
+    reg.counter("pipeline.boundary_nodes").add(result.num_boundary());
+    reg.counter("pipeline.frame_fallbacks").add(result.frame_fallbacks);
+    reg.counter("pipeline.crashed_nodes").add(result.crashed_nodes);
+    reg.counter("pipeline.dropped").add(result.fault_stats.dropped);
+    reg.counter("pipeline.duplicated").add(result.fault_stats.duplicated);
+  }
+  return result;
+}
+
+}  // namespace
+
+DetectionSession::DetectionSession(const net::Network& network)
+    : network_(&network),
+      alive_(network.num_nodes(), 1),
+      num_alive_(network.num_nodes()),
+      frames_dirty_(network.num_nodes(), 0),
+      ubf_dirty_(network.num_nodes(), 0) {}
+
+void DetectionSession::apply(const NetworkDelta& delta) {
+  const std::size_t n = network_->num_nodes();
+  std::vector<net::NodeId> changed;
+  std::uint64_t crashed = 0;
+  std::uint64_t revived = 0;
+  for (const net::NodeId v : delta.crashed) {
+    BALLFIT_REQUIRE(v < n, "crashed node id out of range");
+    if (alive_[v] != 0) {
+      alive_[v] = 0;
+      --num_alive_;
+      ++crashed;
+      changed.push_back(v);
+    }
+  }
+  for (const net::NodeId v : delta.revived) {
+    BALLFIT_REQUIRE(v < n, "revived node id out of range");
+    if (alive_[v] == 0) {
+      alive_[v] = 1;
+      ++num_alive_;
+      ++revived;
+      changed.push_back(v);
+    }
+  }
+  if (changed.empty()) return;
+  ++alive_epoch_;
+  masked_ = num_alive_ < n;
+
+  // A frame's membership is a subset of its owner's two-hop neighborhood,
+  // so only frames within two hops of a changed node can change; a node's
+  // UBF flag additionally reads its one-hop witnesses' frames, adding one
+  // hop. The reach is computed on the full adjacency (conservative
+  // superset of any masked reach).
+  if (frames_valid_) net::mark_k_hop(*network_, changed, 2, frames_dirty_);
+  if (ubf_valid_) net::mark_k_hop(*network_, changed, 3, ubf_dirty_);
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("session.delta.crashed").add(crashed);
+    reg.counter("session.delta.revived").add(revived);
+  }
+}
+
+void DetectionSession::run_ubf_stages(const PipelineConfig& config,
+                                      const UbfConfig& ubf_config,
+                                      unsigned threads,
+                                      PipelineResult& result) {
+  const std::size_t n = network_->num_nodes();
+  const std::vector<char>* alive_mask = masked_ ? &alive_ : nullptr;
+
+  if (config.use_true_coordinates) {
+    // No Measure/Localize artifacts: the oracle reads true positions. The
+    // artifact is keyed on the full config + the alive epoch; any topology
+    // change recomputes it outright (the oracle sweep is cheap).
+    Fingerprint core;
+    core.u64(2);  // true-coordinates artifact tag
+    mix_ubf_core(core, ubf_config);
+    Fingerprint full;
+    full.u64(core.value());
+    full.boolean(ubf_config.degenerate_is_boundary);
+    full.u64(alive_epoch_);
+    if (ubf_valid_ && ubf_full_fp_ == full.value()) {
+      ++stats_.ubf.cache_hits;
+      note_stage("ubf", "cache_hits");
+    } else {
+      BALLFIT_SPAN("ubf");
+      const UnitBallFitting ubf(*network_, ubf_config);
+      ubf_candidates_ =
+          ubf.detect_with_true_coordinates(&frame_fallbacks_, alive_mask);
+      ubf_flags_.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        ubf_flags_[i] = ubf_candidates_[i] ? 1 : 0;
+      }
+      ubf_full_fp_ = full.value();
+      ubf_core_fp_ = 0;
+      ubf_valid_ = true;
+      ubf_partial_ok_ = false;  // partial updates are a frame-path feature
+      std::fill(ubf_dirty_.begin(), ubf_dirty_.end(), 0);
+      ++stats_.ubf.full_runs;
+      note_stage("ubf", "full_runs");
+    }
+    result.ubf_candidates = ubf_candidates_;
+    result.frame_fallbacks = frame_fallbacks_;
+    return;
+  }
+
+  // --- Measure: noise model + localizer (includes the per-edge
+  // measurement cache). Keyed on exactly (measurement_error, noise_seed).
+  {
+    Fingerprint fp;
+    fp.f64(config.measurement_error);
+    fp.u64(config.noise_seed);
+    if (measure_valid_ && measure_fp_ == fp.value()) {
+      ++stats_.measure.cache_hits;
+      note_stage("measure", "cache_hits");
+    } else {
+      BALLFIT_SPAN("measurement");
+      model_.emplace(*network_, config.measurement_error, config.noise_seed);
+      localizer_.emplace(*network_, *model_);
+      measure_fp_ = fp.value();
+      measure_valid_ = true;
+      ++measure_version_;  // downstream keys reference the new artifact
+      ++stats_.measure.full_runs;
+      note_stage("measure", "full_runs");
+    }
+  }
+
+  BALLFIT_SPAN("ubf");
+
+  // --- Localize: one frame per node. Keyed on (measure artifact, scope)
+  // plus the alive epoch; an epoch mismatch with a matching key re-embeds
+  // the dirty neighborhoods only.
+  const bool two_hop = ubf_config.scope == UbfConfig::EmptinessScope::kTwoHop;
+  std::uint64_t frames_key = 0;
+  {
+    Fingerprint fp;
+    fp.u64(measure_version_);
+    fp.boolean(two_hop);
+    frames_key = fp.value();
+  }
+  if (frames_valid_ && frames_key_ == frames_key &&
+      frames_epoch_ == alive_epoch_) {
+    ++stats_.localize.cache_hits;
+    note_stage("localize", "cache_hits");
+  } else {
+    BALLFIT_SPAN("mds_frames");
+    const localization::FrameScope scope = two_hop
+                                               ? localization::FrameScope::kTwoHop
+                                               : localization::FrameScope::kOneHop;
+    // Same key + older epoch: the frames differ only inside the dirty
+    // neighborhoods accumulated by apply(). Each frame is a pure function
+    // of (network, model, scope, alive), so the partial rebuild is
+    // bit-identical to a full one.
+    if (frames_valid_ && frames_key_ == frames_key) {
+      stats_.last_frames_rebuilt = count_marks(frames_dirty_);
+      localization::build_all_frames(*localizer_, scope, frames_, threads,
+                                     alive_mask, &frames_dirty_);
+      ++stats_.localize.partial_runs;
+      note_stage("localize", "partial_runs");
+      if (obs::enabled()) {
+        obs::Registry::global()
+            .gauge("session.frames_rebuilt")
+            .set(static_cast<double>(stats_.last_frames_rebuilt));
+      }
+    } else {
+      frames_.clear();
+      localization::build_all_frames(*localizer_, scope, frames_, threads,
+                                     alive_mask, nullptr);
+      ++stats_.localize.full_runs;
+      note_stage("localize", "full_runs");
+    }
+    frames_key_ = frames_key;
+    frames_epoch_ = alive_epoch_;
+    frames_valid_ = true;
+    ++frames_version_;
+    std::fill(frames_dirty_.begin(), frames_dirty_.end(), 0);
+  }
+
+  // Fallback count is a pure function of (frames, alive): the nodes that
+  // would vote the degenerate default. Recounted here so cache hits report
+  // the same value a fresh run would.
+  frame_fallbacks_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive_[i] != 0 && !frames_[i].ok) ++frame_fallbacks_;
+  }
+
+  // --- UBF ball test + witness cross-verification.
+  Fingerprint core;
+  core.u64(1);  // frame-path artifact tag
+  core.u64(frames_key_);
+  mix_ubf_core(core, ubf_config);
+  Fingerprint full;
+  full.u64(core.value());
+  full.boolean(ubf_config.degenerate_is_boundary);
+  full.u64(frames_version_);
+  if (ubf_valid_ && ubf_full_fp_ == full.value()) {
+    ++stats_.ubf.cache_hits;
+    note_stage("ubf", "cache_hits");
+  } else {
+    const UnitBallFitting ubf(*network_, ubf_config);
+    const bool partial = ubf_valid_ && ubf_partial_ok_ &&
+                         ubf_core_fp_ == core.value() &&
+                         ubf_flags_.size() == n;
+    if (partial) {
+      // Re-test the dirty neighborhoods plus every alive node without a
+      // usable frame — the only readers of the degenerate vote, which the
+      // core key deliberately omits.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (alive_[i] != 0 && !frames_[i].ok) ubf_dirty_[i] = 1;
+      }
+      stats_.last_nodes_retested = count_marks(ubf_dirty_);
+      ubf.update_flags_on_frames(frames_, ubf_flags_, alive_mask,
+                                 &ubf_dirty_, threads);
+      ++stats_.ubf.partial_runs;
+      note_stage("ubf", "partial_runs");
+      if (obs::enabled()) {
+        obs::Registry::global()
+            .gauge("session.nodes_retested")
+            .set(static_cast<double>(stats_.last_nodes_retested));
+      }
+    } else {
+      ubf_flags_.assign(n, 0);
+      ubf.update_flags_on_frames(frames_, ubf_flags_, alive_mask,
+                                 /*run_mask=*/nullptr, threads);
+      ++stats_.ubf.full_runs;
+      note_stage("ubf", "full_runs");
+    }
+    ubf_candidates_.assign(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      ubf_candidates_[i] = ubf_flags_[i] != 0;
+    }
+    ubf_full_fp_ = full.value();
+    ubf_core_fp_ = core.value();
+    ubf_valid_ = true;
+    ubf_partial_ok_ = true;
+    std::fill(ubf_dirty_.begin(), ubf_dirty_.end(), 0);
+  }
+  result.ubf_candidates = ubf_candidates_;
+  result.frame_fallbacks = frame_fallbacks_;
+}
+
+void DetectionSession::run_filter_stages(const PipelineConfig& config,
+                                         PipelineResult& result) {
+  const sim::ProtocolOptions proto{};  // reliable network on cached paths
+
+  // --- IFF: whole-network flood over the candidate set (cheap relative
+  // to localization; no partial variant). Keyed on the candidate flags +
+  // the IFF knobs.
+  {
+    Fingerprint fp;
+    fp.flags(ubf_candidates_);
+    fp.u64(config.iff.theta);
+    fp.u64(config.iff.ttl);
+    fp.boolean(config.iff.use_message_passing);
+    if (iff_valid_ && iff_fp_ == fp.value()) {
+      ++stats_.iff.cache_hits;
+      note_stage("iff", "cache_hits");
+    } else {
+      BALLFIT_SPAN("iff");
+      iff_cost_ = {};
+      boundary_ = iff_filter(*network_, ubf_candidates_, config.iff,
+                             &iff_cost_, proto);
+      iff_fp_ = fp.value();
+      iff_valid_ = true;
+      ++stats_.iff.full_runs;
+      note_stage("iff", "full_runs");
+    }
+    result.boundary = boundary_;
+    result.iff_cost = iff_cost_;
+  }
+
+  // --- Grouping (optional stage). Keyed on the boundary flags + the
+  // message-passing switch it shares with IFF.
+  if (config.group) {
+    Fingerprint fp;
+    fp.flags(boundary_);
+    fp.boolean(config.iff.use_message_passing);
+    if (group_valid_ && group_fp_ == fp.value()) {
+      ++stats_.group.cache_hits;
+      note_stage("group", "cache_hits");
+    } else {
+      BALLFIT_SPAN("grouping");
+      group_cost_ = {};
+      groups_ = group_boundaries(*network_, boundary_,
+                                 config.iff.use_message_passing,
+                                 &group_cost_, proto);
+      group_fp_ = fp.value();
+      group_valid_ = true;
+      ++stats_.group.full_runs;
+      note_stage("group", "full_runs");
+    }
+    result.groups = groups_;
+    result.grouping_cost = group_cost_;
+  }
+
+  Fingerprint fp;
+  fp.flags(result.boundary);
+  fp.boolean(config.iff.use_message_passing);
+  fp.boolean(config.group);
+  result_fp_ = fp.value();
+}
+
+PipelineResult DetectionSession::run(const PipelineConfig& config) {
+  BALLFIT_SPAN("pipeline");
+  const std::size_t n = network_->num_nodes();
+  const unsigned threads =
+      config.threads == 0 ? default_threads() : config.threads;
+
+  if (config.faults) {
+    BALLFIT_REQUIRE(!masked_,
+                    "fault injection cannot be combined with an applied "
+                    "NetworkDelta — use one crash mechanism per session");
+    ++stats_.fault_runs;
+    return run_pipeline_with_faults(*network_, config, threads);
+  }
+
+  // Nodes know their ranging error specification; the UBF emptiness slack
+  // scales with it unless the caller already set a hint explicitly.
+  UbfConfig ubf_config = config.ubf;
+  if (ubf_config.measurement_error_hint == 0.0 &&
+      !config.use_true_coordinates) {
+    ubf_config.measurement_error_hint = config.measurement_error;
+  }
+  // A crashed topology gets the same conservative degenerate vote as the
+  // fault path: a crash-starved neighborhood must not promote itself to
+  // "boundary" by starvation alone.
+  if (masked_) ubf_config.degenerate_is_boundary = false;
+
+  PipelineResult result;
+  run_ubf_stages(config, ubf_config, threads, result);
+  run_filter_stages(config, result);
+
+  if (masked_) result.crashed_nodes = n - num_alive_;
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("pipeline.runs").add(1);
+    reg.counter("pipeline.nodes").add(n);
+    reg.counter("pipeline.ubf_candidates").add(result.num_candidates());
+    reg.counter("pipeline.boundary_nodes").add(result.num_boundary());
+    reg.counter("pipeline.frame_fallbacks").add(result.frame_fallbacks);
+    if (masked_) {
+      reg.counter("pipeline.crashed_nodes").add(result.crashed_nodes);
+    }
+  }
+  return result;
+}
+
+NetworkDelta delta_from_fault_state(const DetectionSession& session,
+                                    const sim::FaultModel& faults) {
+  const std::size_t n = session.network().num_nodes();
+  BALLFIT_REQUIRE(faults.num_nodes() == n,
+                  "fault model and session must cover the same network");
+  NetworkDelta delta;
+  for (net::NodeId v = 0; v < n; ++v) {
+    const bool down = faults.is_down(v);
+    if (down && session.is_alive(v)) {
+      delta.crashed.push_back(v);
+    } else if (!down && !session.is_alive(v)) {
+      delta.revived.push_back(v);
+    }
+  }
+  return delta;
+}
+
+}  // namespace ballfit::core

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file session.hpp
+/// Staged detection engine: the pipeline of pipeline.hpp (measurements →
+/// local MDS frames → UBF → IFF → grouping) decomposed into named stages
+/// with typed, fingerprint-keyed artifacts that persist across runs.
+///
+/// Stage graph (artifact → consumers):
+///
+///   Measure   (NoisyDistanceModel + Localizer)   ← measurement_error, noise_seed
+///     └─ Localize (per-node LocalFrame vector)   ← scope, alive mask
+///          └─ UBF (per-node candidate flags)     ← every UbfConfig knob
+///               └─ IFF (boundary flags)          ← iff.theta/ttl/use_message_passing
+///                    └─ Group (BoundaryGroups)   ← iff.use_message_passing
+///                         └─ Surface (opt-in, mesh::SurfaceStage)
+///
+/// Each stage caches its last artifact keyed by a fingerprint of exactly
+/// the config fields and upstream artifacts it reads. A config sweep that
+/// only changes UBF/IFF knobs therefore reuses the measurement model and
+/// the local frames — the multi-second part of a run — and a change to
+/// `measurement_error` invalidates only Measure → Localize and downstream.
+/// Every artifact is a pure function of (network, alive set, config), so a
+/// cached or partially recomputed run is bit-identical to a fresh one;
+/// `detect_boundaries` is now literally one-shot `DetectionSession::run`.
+///
+/// Incremental re-detection: `apply(NetworkDelta)` marks nodes crashed or
+/// revived. Frames are re-embedded only inside the two-hop reach of the
+/// changed nodes (a frame's membership is a subset of its owner's two-hop
+/// neighborhood), the ball test re-runs only there plus one extra witness
+/// hop, and the cheap whole-network floods (IFF, grouping) always re-run.
+/// This mirrors the paper's localized semantics: a crash is invisible
+/// beyond the neighborhoods that could hear the node.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "localization/local_frame.hpp"
+
+namespace ballfit::core {
+
+/// A topology change to apply between runs: nodes that crashed (fail-stop,
+/// silent) and nodes that came back. Ids keep their original network
+/// numbering — nodes do not renumber when a peer dies.
+struct NetworkDelta {
+  std::vector<net::NodeId> crashed;
+  std::vector<net::NodeId> revived;
+  bool empty() const { return crashed.empty() && revived.empty(); }
+};
+
+/// Per-stage cache accounting (counts since session construction).
+struct StageCounters {
+  std::uint64_t full_runs = 0;     ///< artifact recomputed from scratch
+  std::uint64_t partial_runs = 0;  ///< recomputed on the dirty set only
+  std::uint64_t cache_hits = 0;    ///< artifact reused as-is
+};
+
+struct SessionStats {
+  StageCounters measure;   ///< noise model + localizer construction
+  StageCounters localize;  ///< per-node frame embedding
+  StageCounters ubf;       ///< ball test + witness cross-verification
+  StageCounters iff;       ///< isolated fragment filtering
+  StageCounters group;     ///< boundary grouping
+  /// Frames re-embedded by the last partial Localize run (count).
+  std::size_t last_frames_rebuilt = 0;
+  /// Nodes re-tested by the last partial UBF run (count).
+  std::size_t last_nodes_retested = 0;
+  /// Runs executed under fault injection (uncacheable legacy path).
+  std::uint64_t fault_runs = 0;
+};
+
+/// A detection session bound to one immutable `net::Network`.
+///
+/// Not thread-safe: one session serves one caller at a time (the per-node
+/// stages still parallelize internally per `PipelineConfig::threads`).
+/// The network must outlive the session.
+///
+/// Fault injection (`PipelineConfig::faults`) runs the legacy uncached
+/// path — the fault model's loss/crash RNG streams are call-order
+/// dependent, so those runs are not pure functions of the config and are
+/// never cached. Combining `faults` with a non-empty `apply` history is
+/// rejected: the two crash mechanisms would fight over the alive set.
+class DetectionSession {
+ public:
+  explicit DetectionSession(const net::Network& network);
+
+  const net::Network& network() const { return *network_; }
+
+  /// Runs the pipeline, reusing every cached artifact the fingerprints
+  /// allow. Bit-identical to `detect_boundaries(network, config)` for
+  /// reliable (fault-free) configs, including the obs span tree and
+  /// pipeline.* counters of a fresh run for stages that execute.
+  PipelineResult run(const PipelineConfig& config = {});
+
+  /// Applies a crash/revive delta and dirties the affected neighborhoods.
+  /// The next `run` re-embeds frames only within two hops of the changed
+  /// nodes and re-tests only those plus their witnesses (three hops).
+  void apply(const NetworkDelta& delta);
+
+  bool is_alive(net::NodeId v) const { return alive_[v] != 0; }
+  std::size_t num_alive() const { return num_alive_; }
+
+  const SessionStats& stats() const { return stats_; }
+
+  /// Fingerprint of the last run's final boundary + groups; equal values
+  /// guarantee identical (boundary, groups). 0 before the first run.
+  /// `mesh::SurfaceStage` keys its artifact on this.
+  std::uint64_t result_fingerprint() const { return result_fp_; }
+
+ private:
+  void run_ubf_stages(const PipelineConfig& config,
+                      const UbfConfig& ubf_config, unsigned threads,
+                      PipelineResult& result);
+  void run_filter_stages(const PipelineConfig& config,
+                         PipelineResult& result);
+
+  const net::Network* network_;
+  std::vector<char> alive_;
+  std::size_t num_alive_;
+  /// Bumped by every effective `apply`; artifacts remember the epoch they
+  /// were computed in.
+  std::uint64_t alive_epoch_ = 0;
+  bool masked_ = false;  ///< any node currently dead
+
+  // --- Measure artifact. `localizer_` holds a pointer to `model_`; both
+  // live in optional slots so re-emplacement reuses the session object.
+  std::optional<net::NoisyDistanceModel> model_;
+  std::optional<localization::Localizer> localizer_;
+  std::uint64_t measure_fp_ = 0;
+  bool measure_valid_ = false;
+  /// Distinguishes successive measure artifacts in downstream keys.
+  std::uint64_t measure_version_ = 0;
+
+  // --- Localize artifact.
+  std::vector<localization::LocalFrame> frames_;
+  std::uint64_t frames_key_ = 0;    ///< (measure_version, scope)
+  std::uint64_t frames_epoch_ = 0;  ///< alive_epoch_ the frames reflect
+  std::uint64_t frames_version_ = 0;
+  bool frames_valid_ = false;
+  /// Nodes whose frame must be re-embedded before next use (accumulated
+  /// across `apply` calls, cleared by every Localize run).
+  std::vector<char> frames_dirty_;
+
+  // --- UBF artifact.
+  std::vector<char> ubf_flags_;
+  std::vector<bool> ubf_candidates_;  ///< published copy of ubf_flags_
+  std::size_t frame_fallbacks_ = 0;
+  /// Exact-hit key: core key + degenerate vote + frames_version/epoch.
+  std::uint64_t ubf_full_fp_ = 0;
+  /// Partial-run key: everything the per-node decision reads except the
+  /// degenerate vote (only not-ok frames read it; those nodes join every
+  /// partial run) and the frame contents (covered by dirty tracking).
+  std::uint64_t ubf_core_fp_ = 0;
+  bool ubf_valid_ = false;
+  /// Partial runs are only sound on the noisy frame path; a true-coords
+  /// artifact is recomputed in full when the alive set changes.
+  bool ubf_partial_ok_ = false;
+  /// Nodes whose flag must be recomputed (dirty frames + one witness hop).
+  std::vector<char> ubf_dirty_;
+
+  // --- IFF artifact.
+  std::vector<bool> boundary_;
+  sim::RunStats iff_cost_;
+  std::uint64_t iff_fp_ = 0;
+  bool iff_valid_ = false;
+
+  // --- Group artifact.
+  BoundaryGroups groups_;
+  sim::RunStats group_cost_;
+  std::uint64_t group_fp_ = 0;
+  bool group_valid_ = false;
+
+  std::uint64_t result_fp_ = 0;
+  SessionStats stats_;
+};
+
+/// Diffs a fault model's current crash state against the session's alive
+/// set: nodes down but still alive in the session become `crashed`, nodes
+/// back up become `revived`. Bridges the sim fault schedule into the
+/// incremental re-detection path.
+NetworkDelta delta_from_fault_state(const DetectionSession& session,
+                                    const sim::FaultModel& faults);
+
+}  // namespace ballfit::core

@@ -334,14 +334,20 @@ bool UnitBallFitting::witness_confirms(const localization::LocalFrame& frame,
   return false;
 }
 
-std::vector<bool> UnitBallFitting::detect(
-    const localization::Localizer& localizer, unsigned threads,
-    std::size_t* frame_fallbacks) const {
-  BALLFIT_REQUIRE(&localizer.network() == network_,
-                  "localizer must wrap the same network");
-  const std::size_t n = network_->num_nodes();
-  const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
-  const unsigned workers = threads == 0 ? default_threads() : threads;
+namespace {
+
+/// The ball-test round shared by `detect_on_frames` (full, fallback
+/// counting) and `update_flags_on_frames` (masked / partial). Every node
+/// the `run_mask` selects is recomputed from scratch; all shortcuts are
+/// upstream (which nodes run), never inside a node's decision, so a run
+/// over any sound dirty set leaves `flags` equal to a full recompute.
+void run_ball_tests(const UnitBallFitting& ubf,
+                    const std::vector<localization::LocalFrame>& frames,
+                    std::vector<char>& flags, const std::vector<char>* alive,
+                    const std::vector<char>* run_mask, unsigned workers,
+                    std::atomic<std::size_t>* fallbacks) {
+  const UbfConfig& config = ubf.config();
+  const std::size_t n = frames.size();
 
   // Per-node work histograms (Theorem 1's Θ(ρ³) in the wild). Handles are
   // fetched once here so the parallel workers below never touch the
@@ -358,84 +364,107 @@ std::vector<bool> UnitBallFitting::detect(
     h_empty = &reg.histogram("ubf.empty_balls", {0, 1, 2, 4, 8, 16, 32});
   }
 
+  BALLFIT_SPAN("ball_test");
+  const std::string parent = obs::current_span_path();
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        if (run_mask != nullptr && (*run_mask)[i] == 0) return;
+        const obs::SpanPathScope adopt(parent);
+        BALLFIT_SPAN("node");
+        if (alive != nullptr && (*alive)[i] == 0) {
+          flags[i] = 0;  // crashed nodes claim nothing
+          return;
+        }
+        const localization::LocalFrame& frame = frames[i];
+        if (!frame.ok) {
+          flags[i] = config.degenerate_is_boundary ? 1 : 0;
+          if (fallbacks != nullptr) {
+            fallbacks->fetch_add(1, std::memory_order_relaxed);
+          }
+          return;
+        }
+        BALLFIT_ASSERT(frame.members[0] == static_cast<NodeId>(i));
+        if (h_neighbors != nullptr) {
+          h_neighbors->observe(
+              static_cast<double>(frame.one_hop_count - 1));
+        }
+        if (!ubf.frame_reliable(frame.stress_rms)) {
+          flags[i] = 0;
+          return;
+        }
+        UbfNodeDiagnostics diag;
+        if (!config.cross_verify) {
+          flags[i] = ubf.test_node(frame.coords, 0, frame.one_hop_count,
+                                   &diag, frame.stress_rms)
+                         ? 1
+                         : 0;
+        } else {
+          const std::size_t pool =
+              std::max(config.verify_pool, config.min_empty_balls);
+          const auto balls =
+              ubf.collect_empty_balls(frame.coords, 0, frame.one_hop_count,
+                                      pool, frame.stress_rms, &diag);
+          std::size_t verified = 0;
+          for (const auto& [j, k] : balls) {
+            const NodeId jn = frame.members[j];
+            const NodeId kn = frame.members[k];
+            if (ubf.witness_confirms(frames[jn], jn, static_cast<NodeId>(i),
+                                     kn) &&
+                ubf.witness_confirms(frames[kn], kn, static_cast<NodeId>(i),
+                                     jn)) {
+              ++verified;
+              if (verified >= config.min_empty_balls) break;
+            }
+          }
+          flags[i] = verified >= config.min_empty_balls ? 1 : 0;
+        }
+        if (h_balls != nullptr) {
+          h_balls->observe(static_cast<double>(diag.balls_tested));
+        }
+        if (h_empty != nullptr) {
+          h_empty->observe(static_cast<double>(diag.empty_balls));
+        }
+      },
+      workers);
+}
+
+}  // namespace
+
+std::vector<bool> UnitBallFitting::detect(
+    const localization::Localizer& localizer, unsigned threads,
+    std::size_t* frame_fallbacks) const {
+  BALLFIT_REQUIRE(&localizer.network() == network_,
+                  "localizer must wrap the same network");
+  const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
+
   // Round 1: every node builds its local frame (the expensive stage).
-  std::vector<localization::LocalFrame> frames(n);
+  std::vector<localization::LocalFrame> frames;
   {
     BALLFIT_SPAN("mds_frames");
-    const std::string parent = obs::current_span_path();
-    parallel_for(
-        n,
-        [&](std::size_t i) {
-          const obs::SpanPathScope adopt(parent);
-          BALLFIT_SPAN("frame");
-          const auto id = static_cast<NodeId>(i);
-          frames[i] =
-              two_hop ? localizer.mdsmap_frame(id) : localizer.local_frame(id);
-        },
-        workers);
+    localization::build_all_frames(localizer,
+                                   two_hop ? localization::FrameScope::kTwoHop
+                                           : localization::FrameScope::kOneHop,
+                                   frames, threads);
   }
 
   // Round 2: per-node test + witness cross-verification.
+  return detect_on_frames(frames, threads, frame_fallbacks);
+}
+
+std::vector<bool> UnitBallFitting::detect_on_frames(
+    const std::vector<localization::LocalFrame>& frames, unsigned threads,
+    std::size_t* frame_fallbacks) const {
+  const std::size_t n = network_->num_nodes();
+  BALLFIT_REQUIRE(frames.size() == n, "one frame per node required");
+  const unsigned workers = threads == 0 ? default_threads() : threads;
+
+  // vector<bool> is not safe for concurrent writes, hence the char staging
+  // buffer.
   std::vector<char> flags(n, 0);
   std::atomic<std::size_t> fallbacks{0};
-  {
-    BALLFIT_SPAN("ball_test");
-    const std::string parent = obs::current_span_path();
-    parallel_for(
-        n,
-        [&](std::size_t i) {
-          const obs::SpanPathScope adopt(parent);
-          BALLFIT_SPAN("node");
-          const localization::LocalFrame& frame = frames[i];
-          if (!frame.ok) {
-            flags[i] = config_.degenerate_is_boundary ? 1 : 0;
-            fallbacks.fetch_add(1, std::memory_order_relaxed);
-            return;
-          }
-          BALLFIT_ASSERT(frame.members[0] == static_cast<NodeId>(i));
-          if (h_neighbors != nullptr) {
-            h_neighbors->observe(
-                static_cast<double>(frame.one_hop_count - 1));
-          }
-          if (!frame_reliable(frame.stress_rms)) {
-            flags[i] = 0;
-            return;
-          }
-          UbfNodeDiagnostics diag;
-          if (!config_.cross_verify) {
-            flags[i] = test_node(frame.coords, 0, frame.one_hop_count, &diag,
-                                 frame.stress_rms)
-                           ? 1
-                           : 0;
-          } else {
-            const std::size_t pool =
-                std::max(config_.verify_pool, config_.min_empty_balls);
-            const auto balls =
-                collect_empty_balls(frame.coords, 0, frame.one_hop_count,
-                                    pool, frame.stress_rms, &diag);
-            std::size_t verified = 0;
-            for (const auto& [j, k] : balls) {
-              const NodeId jn = frame.members[j];
-              const NodeId kn = frame.members[k];
-              if (witness_confirms(frames[jn], jn, static_cast<NodeId>(i),
-                                   kn) &&
-                  witness_confirms(frames[kn], kn, static_cast<NodeId>(i),
-                                   jn)) {
-                ++verified;
-                if (verified >= config_.min_empty_balls) break;
-              }
-            }
-            flags[i] = verified >= config_.min_empty_balls ? 1 : 0;
-          }
-          if (h_balls != nullptr) {
-            h_balls->observe(static_cast<double>(diag.balls_tested));
-          }
-          if (h_empty != nullptr) {
-            h_empty->observe(static_cast<double>(diag.empty_balls));
-          }
-        },
-        workers);
-  }
+  run_ball_tests(*this, frames, flags, /*alive=*/nullptr,
+                 /*run_mask=*/nullptr, workers, &fallbacks);
 
   if (frame_fallbacks != nullptr) {
     *frame_fallbacks = fallbacks.load(std::memory_order_relaxed);
@@ -445,10 +474,24 @@ std::vector<bool> UnitBallFitting::detect(
   return boundary;
 }
 
+void UnitBallFitting::update_flags_on_frames(
+    const std::vector<localization::LocalFrame>& frames,
+    std::vector<char>& flags, const std::vector<char>* alive,
+    const std::vector<char>* run_mask, unsigned threads) const {
+  const std::size_t n = network_->num_nodes();
+  BALLFIT_REQUIRE(frames.size() == n, "one frame per node required");
+  BALLFIT_REQUIRE(flags.size() == n, "flags must be sized num_nodes");
+  const unsigned workers = threads == 0 ? default_threads() : threads;
+  run_ball_tests(*this, frames, flags, alive, run_mask, workers,
+                 /*fallbacks=*/nullptr);
+}
+
 std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
-    std::size_t* frame_fallbacks) const {
+    std::size_t* frame_fallbacks, const std::vector<char>* alive) const {
   BALLFIT_SPAN("true_coords");
   const std::size_t n = network_->num_nodes();
+  BALLFIT_REQUIRE(alive == nullptr || alive->size() == n,
+                  "alive mask must be sized num_nodes");
   const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
   obs::Histogram* h_balls = nullptr;
   if (obs::enabled()) {
@@ -469,11 +512,13 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
   seen.reset_universe(n);
 
   for (NodeId i = 0; i < n; ++i) {
+    if (alive != nullptr && (*alive)[i] == 0) continue;  // crashed: no claim
     seen.clear();
     coords.clear();
     coords.push_back(network_->position(i));
     seen.insert(i, 0);
     for (NodeId v : network_->neighbors(i)) {
+      if (alive != nullptr && (*alive)[v] == 0) continue;
       coords.push_back(network_->position(v));
       seen.insert(v, 0);
     }
@@ -487,7 +532,9 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
       // Exact two-hop membership: neighbors of neighbors, minus the
       // one-hop set and i itself, deduplicated.
       for (NodeId j : network_->neighbors(i)) {
+        if (alive != nullptr && (*alive)[j] == 0) continue;
         for (NodeId u : network_->neighbors(j)) {
+          if (alive != nullptr && (*alive)[u] == 0) continue;
           if (seen.insert(u, 0)) coords.push_back(network_->position(u));
         }
       }

@@ -139,12 +139,36 @@ class UnitBallFitting {
                            unsigned threads = 0,
                            std::size_t* frame_fallbacks = nullptr) const;
 
+  /// The ball-test round of `detect` on prebuilt frames (one per node, as
+  /// produced by `localization::build_all_frames` with the scope from
+  /// `config()`). `detect` is exactly frame build + this call, bit for
+  /// bit; `DetectionSession` uses the split to reuse frames across runs.
+  std::vector<bool> detect_on_frames(
+      const std::vector<localization::LocalFrame>& frames,
+      unsigned threads = 0, std::size_t* frame_fallbacks = nullptr) const;
+
+  /// Masked / partial variant of `detect_on_frames` for incremental
+  /// re-detection: recomputes `flags[i]` (1 = candidate) for every node
+  /// with `(*run_mask)[i] != 0` (all nodes when null), leaving the rest
+  /// untouched; dead nodes (`alive` given and `(*alive)[i] == 0`) always
+  /// get 0. Each node's flag is a pure function of (its frame, its one-hop
+  /// witnesses' frames, config), so running this over a dirty set that
+  /// covers every node whose inputs changed reproduces the full run
+  /// bit-identically. Thread-count independent like `detect`.
+  void update_flags_on_frames(
+      const std::vector<localization::LocalFrame>& frames,
+      std::vector<char>& flags, const std::vector<char>* alive = nullptr,
+      const std::vector<char>* run_mask = nullptr, unsigned threads = 0) const;
+
   /// Oracle detection using true coordinates (the 0%-error reference; UBF
   /// is invariant to the rigid-motion gauge, so this equals `detect` with a
   /// noiseless measurement model). `frame_fallbacks` counts nodes with too
-  /// few neighbors to test, as in `detect`.
+  /// few neighbors to test, as in `detect`. `alive`, when non-null, masks
+  /// crashed nodes out of every neighborhood (dead nodes test nothing and
+  /// are never counted as fallbacks); null is the pre-mask behavior.
   std::vector<bool> detect_with_true_coordinates(
-      std::size_t* frame_fallbacks = nullptr) const;
+      std::size_t* frame_fallbacks = nullptr,
+      const std::vector<char>* alive = nullptr) const;
 
   /// The per-node kernel: runs the unit-ball test on an explicit point set.
   /// `coords[self_index]` is the node under test; entries with index

@@ -13,6 +13,7 @@
 #include "linalg/eigen.hpp"
 #include "linalg/mds.hpp"
 #include "linalg/procrustes.hpp"
+#include "obs/trace.hpp"
 
 namespace ballfit::localization {
 
@@ -100,12 +101,16 @@ Localizer::Localizer(const net::Network& network,
   if (config_.use_edge_cache) edge_cache_.emplace(model);
 }
 
-LocalFrame Localizer::local_frame(NodeId i) const {
+LocalFrame Localizer::local_frame(NodeId i,
+                                  const std::vector<char>* alive) const {
   BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
 
   LocalFrame frame;
   frame.members.push_back(i);
-  for (NodeId v : network_->neighbors(i)) frame.members.push_back(v);
+  for (NodeId v : network_->neighbors(i)) {
+    if (alive != nullptr && (*alive)[v] == 0) continue;  // crashed: silent
+    frame.members.push_back(v);
+  }
   const std::size_t m = frame.members.size();
   frame.one_hop_count = m;
 
@@ -259,13 +264,17 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
   return best;
 }
 
-LocalFrame Localizer::mdsmap_frame(NodeId i) const {
+LocalFrame Localizer::mdsmap_frame(NodeId i,
+                                   const std::vector<char>* alive) const {
   BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
 
   LocalFrame frame;
   frame.members.push_back(i);
   const auto nb = network_->neighbors(i);
-  for (NodeId v : nb) frame.members.push_back(v);
+  for (NodeId v : nb) {
+    if (alive != nullptr && (*alive)[v] == 0) continue;  // crashed: silent
+    frame.members.push_back(v);
+  }
   frame.one_hop_count = frame.members.size();
 
   if (frame.one_hop_count < 4) {
@@ -284,7 +293,10 @@ LocalFrame Localizer::mdsmap_frame(NodeId i) const {
     s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
   s.tail.clear();
   for (NodeId j : nb) {
+    // A dead neighbor neither relays its one-hop frame nor appears in it.
+    if (alive != nullptr && (*alive)[j] == 0) continue;
     for (NodeId u : network_->neighbors(j)) {
+      if (alive != nullptr && (*alive)[u] == 0) continue;
       if (s.slot.insert(u, 0)) s.tail.push_back(u);
     }
   }
@@ -534,6 +546,36 @@ double Localizer::frame_rms_error(const LocalFrame& frame) const {
   truth.reserve(frame.members.size());
   for (NodeId v : frame.members) truth.push_back(network_->position(v));
   return linalg::procrustes_align(frame.coords, truth).rms_error;
+}
+
+void build_all_frames(const Localizer& localizer, FrameScope scope,
+                      std::vector<LocalFrame>& frames, unsigned threads,
+                      const std::vector<char>* alive,
+                      const std::vector<char>* rebuild) {
+  const net::Network& net = localizer.network();
+  const std::size_t n = net.num_nodes();
+  BALLFIT_REQUIRE(rebuild == nullptr || frames.size() == n,
+                  "partial rebuild requires an existing full frame set");
+  BALLFIT_REQUIRE(alive == nullptr || alive->size() == n,
+                  "alive mask must be sized num_nodes");
+  frames.resize(n);
+  const bool two_hop = scope == FrameScope::kTwoHop;
+  const std::string parent = obs::current_span_path();
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        if (rebuild != nullptr && (*rebuild)[i] == 0) return;
+        const obs::SpanPathScope adopt(parent);
+        BALLFIT_SPAN("frame");
+        if (alive != nullptr && (*alive)[i] == 0) {
+          frames[i] = LocalFrame{};  // crashed: no frame, not-ok
+          return;
+        }
+        const auto id = static_cast<NodeId>(i);
+        frames[i] = two_hop ? localizer.mdsmap_frame(id, alive)
+                            : localizer.local_frame(id, alive);
+      },
+      threads == 0 ? default_threads() : threads);
 }
 
 }  // namespace ballfit::localization

@@ -93,8 +93,14 @@ class Localizer {
   Localizer(const net::Network& network, const net::NoisyDistanceModel& model,
             LocalizerConfig config = {});
 
-  /// Builds node i's local frame from one-hop measurements only.
-  LocalFrame local_frame(net::NodeId i) const;
+  /// Builds node i's local frame from one-hop measurements only. `alive`,
+  /// when non-null, masks out crashed nodes: dead neighbors contribute no
+  /// membership and no measurements (they are silent), shrinking the frame
+  /// exactly as a real crash would. A null mask is bit-identical to the
+  /// pre-mask behavior. The measurement model draws per node-id pair, so a
+  /// masked frame's surviving measurements match the unmasked ones bitwise.
+  LocalFrame local_frame(net::NodeId i,
+                         const std::vector<char>* alive = nullptr) const;
 
   /// Builds node i's frame over its full two-hop neighborhood, MDS-MAP(P)
   /// style (Shang & Ruml [31], the method the paper adopts): classical MDS
@@ -103,7 +109,10 @@ class Localizer {
   /// close to its full degree of constraints here (vs ~⅓ in a one-hop
   /// frame), which suppresses the fold-over ambiguities that dominate
   /// one-hop embeddings. This is the frame Unit Ball Fitting consumes.
-  LocalFrame mdsmap_frame(net::NodeId i) const;
+  /// `alive` masks crashed nodes out of the patch (see `local_frame`);
+  /// dead nodes neither join the member set nor relay two-hop membership.
+  LocalFrame mdsmap_frame(net::NodeId i,
+                          const std::vector<char>* alive = nullptr) const;
 
   /// Re-runs SMACOF on an (assembled) frame against every measured pair
   /// among its members — pairs that are mutual one-hop neighbors anywhere
@@ -173,5 +182,30 @@ class TwoHopFrames {
   const Localizer* localizer_;
   std::vector<LocalFrame> frames_;
 };
+
+/// Which neighborhood a frame covers (mirrors the UBF emptiness scope:
+/// one-hop frames for the literal Algorithm 1 listing, two-hop MDS-MAP
+/// patches for the paper-accurate default).
+enum class FrameScope { kOneHop, kTwoHop };
+
+/// Builds (or partially rebuilds) every node's frame into `frames` — the
+/// Localize stage artifact of `core::DetectionSession`, also the round-1
+/// loop of `UnitBallFitting::detect`.
+///
+///   - `alive` (optional): crashed-node mask forwarded to the per-node
+///     builders; dead nodes get a default (not-ok) frame.
+///   - `rebuild` (optional): when non-null, `frames` must already hold a
+///     full build and only nodes with `(*rebuild)[i] != 0` are recomputed —
+///     the incremental re-detection path. Each frame is a pure function of
+///     (network, measurement model, scope, alive), so a partial rebuild
+///     over a sound dirty set is bit-identical to a full one.
+///
+/// Emits one "frame" trace span per rebuilt node under the caller's span
+/// (the workers adopt the calling thread's span path). `threads` = 0 uses
+/// hardware concurrency; results are independent of the thread count.
+void build_all_frames(const Localizer& localizer, FrameScope scope,
+                      std::vector<LocalFrame>& frames, unsigned threads = 0,
+                      const std::vector<char>* alive = nullptr,
+                      const std::vector<char>* rebuild = nullptr);
 
 }  // namespace ballfit::localization

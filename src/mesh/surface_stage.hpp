@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file surface_stage.hpp
+/// Surface reconstruction as an opt-in stage on top of
+/// `core::DetectionSession`: caches the last `SurfaceResult` keyed on the
+/// session's result fingerprint (boundary + groups identity) and the mesh
+/// knobs, so a config sweep whose final boundary is unchanged — or a
+/// sequence of runs separated by deltas that did not move the boundary —
+/// skips the landmark/CDG/CDM pipeline entirely.
+///
+/// Lives in src/mesh (not src/core) because the mesh library already links
+/// core; the Surface stage is the one stage downstream of the session
+/// rather than inside it.
+
+#include <cstdint>
+
+#include "core/session.hpp"
+#include "mesh/surface_builder.hpp"
+
+namespace ballfit::mesh {
+
+class SurfaceStage {
+ public:
+  explicit SurfaceStage(MeshConfig config = {});
+
+  const MeshConfig& config() const { return config_; }
+
+  /// Builds (or reuses) the surfaces for `result`, which must be the value
+  /// returned by `session.run(...)` — the session's result fingerprint is
+  /// the cache key. Surfaces only make sense on grouped runs
+  /// (`PipelineConfig::group`); an ungrouped result yields no surfaces.
+  const SurfaceResult& run(const core::DetectionSession& session,
+                           const core::PipelineResult& result);
+
+  /// Direct-keyed variant for callers without a session: `result_key` must
+  /// change whenever (boundary, groups) change.
+  const SurfaceResult& run(const net::Network& network,
+                           const std::vector<bool>& boundary,
+                           const core::BoundaryGroups& groups,
+                           std::uint64_t result_key);
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t full_runs() const { return full_runs_; }
+
+ private:
+  MeshConfig config_;
+  SurfaceResult surfaces_;
+  std::uint64_t key_ = 0;
+  bool valid_ = false;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t full_runs_ = 0;
+};
+
+}  // namespace ballfit::mesh

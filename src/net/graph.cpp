@@ -153,4 +153,30 @@ std::vector<NodeId> shortest_path(const Network& net, NodeId from, NodeId to,
   return path;
 }
 
+void mark_k_hop(const Network& net, const std::vector<NodeId>& seeds,
+                std::uint32_t k, std::vector<char>& out) {
+  const std::size_t n = net.num_nodes();
+  BALLFIT_REQUIRE(out.size() == n, "output mask must be sized num_nodes");
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::deque<NodeId> queue;
+  for (NodeId s : seeds) {
+    BALLFIT_REQUIRE(s < n, "seed out of range");
+    if (dist[s] == 0) continue;  // duplicate seed
+    dist[s] = 0;
+    out[s] = 1;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[u] >= k) continue;
+    for (NodeId v : net.neighbors(u)) {
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      out[v] = 1;
+      queue.push_back(v);
+    }
+  }
+}
+
 }  // namespace ballfit::net

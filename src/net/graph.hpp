@@ -53,4 +53,13 @@ bool is_connected(const Network& net);
 std::vector<NodeId> shortest_path(const Network& net, NodeId from, NodeId to,
                                   const NodeMask* mask = nullptr);
 
+/// Marks (sets to 1) every node within `k` hops of any seed, accumulating
+/// into `out` (must be sized num_nodes; existing marks are preserved).
+/// Traversal runs over the full adjacency, deliberately ignoring any
+/// aliveness mask: a dead relay still bounds how far a topology change can
+/// influence a two-hop neighborhood, so the unmasked reach is the sound
+/// (conservative) dirty set for incremental re-detection.
+void mark_k_hop(const Network& net, const std::vector<NodeId>& seeds,
+                std::uint32_t k, std::vector<char>& out);
+
 }  // namespace ballfit::net

@@ -113,6 +113,17 @@ class FaultModel {
   /// Number of nodes currently down.
   std::size_t num_down() const { return stats_.crashed; }
 
+  /// Ids of all currently-down nodes, ascending. Feeds
+  /// `core::delta_from_fault_state`, which turns the crash schedule into a
+  /// `NetworkDelta` for incremental re-detection.
+  std::vector<net::NodeId> down_nodes() const {
+    std::vector<net::NodeId> out;
+    for (net::NodeId v = 0; v < down_.size(); ++v) {
+      if (down_[v] != 0) out.push_back(v);
+    }
+    return out;
+  }
+
   /// Rolls the loss process for one delivery over the directed link
   /// from→to. Returns false (and counts a drop) when the message is lost.
   bool deliver(net::NodeId from, net::NodeId to);

@@ -1,0 +1,281 @@
+// DetectionSession contract tests: cached sweeps and incremental
+// re-detection must be bit-identical to fresh detect_boundaries runs, the
+// stage fingerprints must cover every config field a stage reads, and
+// results must be independent of the worker thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/session.hpp"
+#include "model/shapes.hpp"
+#include "net/builder.hpp"
+
+namespace ballfit::core {
+namespace {
+
+using net::NodeId;
+
+net::Network sphere_network(std::uint64_t seed, std::size_t surface = 160,
+                            std::size_t interior = 260) {
+  Rng rng(seed);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = surface;
+  opt.interior_count = interior;
+  return net::build_network(shape, opt, rng);
+}
+
+void expect_same_result(const PipelineResult& a, const PipelineResult& b,
+                        const char* what) {
+  EXPECT_EQ(a.ubf_candidates, b.ubf_candidates) << what;
+  EXPECT_EQ(a.boundary, b.boundary) << what;
+  EXPECT_EQ(a.groups.leader, b.groups.leader) << what;
+  EXPECT_EQ(a.groups.groups, b.groups.groups) << what;
+  EXPECT_EQ(a.frame_fallbacks, b.frame_fallbacks) << what;
+  EXPECT_EQ(a.iff_cost.messages, b.iff_cost.messages) << what;
+  EXPECT_EQ(a.grouping_cost.messages, b.grouping_cost.messages) << what;
+}
+
+// (a) A config sweep through one session is bit-identical to a fresh
+// detect_boundaries call per config — and actually reuses the expensive
+// artifacts (one measure build, one frame build for the whole ε sweep).
+TEST(SessionSweep, BitIdenticalToFreshRunsWithReuse) {
+  const net::Network net = sphere_network(11);
+  DetectionSession session(net);
+
+  std::vector<PipelineConfig> sweep;
+  for (const double eps : {1e-6, 0.1, 0.2}) {
+    PipelineConfig cfg;
+    cfg.measurement_error = 0.2;
+    cfg.noise_seed = 5;
+    cfg.ubf.epsilon = eps;
+    sweep.push_back(cfg);
+  }
+  // The θ variants reuse the last ε point's flags, so the single-entry UBF
+  // cache serves them without a recompute.
+  const PipelineConfig eps_base = sweep.back();
+  for (const std::uint32_t theta : {5u, 40u}) {
+    PipelineConfig cfg = eps_base;
+    cfg.iff.theta = theta;
+    sweep.push_back(cfg);
+  }
+
+  for (const PipelineConfig& cfg : sweep) {
+    const PipelineResult via_session = session.run(cfg);
+    const PipelineResult fresh = detect_boundaries(net, cfg);
+    expect_same_result(via_session, fresh, "sweep point vs fresh");
+  }
+
+  // The sweep only varied UBF/IFF knobs: measure and frames must have been
+  // built exactly once.
+  EXPECT_EQ(session.stats().measure.full_runs, 1u);
+  EXPECT_EQ(session.stats().localize.full_runs, 1u);
+  EXPECT_EQ(session.stats().ubf.full_runs, 3u);  // one per distinct ε
+  EXPECT_EQ(session.stats().ubf.cache_hits, 2u);  // θ sweep reuses flags
+}
+
+// Re-running an already-seen config is a pure cache hit everywhere and
+// still returns the identical result.
+TEST(SessionSweep, RepeatedConfigHitsEveryCache) {
+  const net::Network net = sphere_network(12);
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.1;
+  DetectionSession session(net);
+  const PipelineResult first = session.run(cfg);
+  const PipelineResult second = session.run(cfg);
+  expect_same_result(first, second, "repeat config");
+  EXPECT_EQ(session.stats().measure.cache_hits, 1u);
+  EXPECT_EQ(session.stats().localize.cache_hits, 1u);
+  EXPECT_EQ(session.stats().ubf.cache_hits, 1u);
+  EXPECT_EQ(session.stats().iff.cache_hits, 1u);
+  EXPECT_EQ(session.stats().group.cache_hits, 1u);
+}
+
+// (b) Incremental re-detection: warm session + apply(delta) must equal a
+// cold session given the same delta, on both the noisy and oracle paths.
+TEST(SessionDelta, IncrementalMatchesFromScratch) {
+  const net::Network net = sphere_network(13);
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.2;
+  cfg.noise_seed = 9;
+
+  NetworkDelta delta;
+  Rng rng(99);
+  while (delta.crashed.size() < 12) {
+    const auto v = static_cast<NodeId>(rng.uniform_index(net.num_nodes()));
+    if (std::find(delta.crashed.begin(), delta.crashed.end(), v) ==
+        delta.crashed.end()) {
+      delta.crashed.push_back(v);
+    }
+  }
+
+  DetectionSession warm(net);
+  (void)warm.run(cfg);  // populate every cache pre-delta
+  warm.apply(delta);
+  const PipelineResult incremental = warm.run(cfg);
+  EXPECT_GT(warm.stats().localize.partial_runs, 0u);
+  EXPECT_GT(warm.stats().ubf.partial_runs, 0u);
+  // The dirty set is local to the crash sites, not the whole network.
+  EXPECT_LT(warm.stats().last_frames_rebuilt, net.num_nodes());
+
+  DetectionSession cold(net);
+  cold.apply(delta);
+  const PipelineResult scratch = cold.run(cfg);
+  expect_same_result(incremental, scratch, "incremental vs cold session");
+  EXPECT_EQ(incremental.crashed_nodes, delta.crashed.size());
+
+  // Crashed nodes can never be reported as boundary.
+  for (const NodeId v : delta.crashed) {
+    EXPECT_FALSE(incremental.boundary[v]);
+    EXPECT_FALSE(incremental.ubf_candidates[v]);
+  }
+}
+
+TEST(SessionDelta, ReviveRestoresOriginalResult) {
+  const net::Network net = sphere_network(14);
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.15;
+
+  DetectionSession session(net);
+  const PipelineResult before = session.run(cfg);
+
+  NetworkDelta crash;
+  crash.crashed = {3, 40, 41, 120, 200};
+  session.apply(crash);
+  (void)session.run(cfg);
+
+  NetworkDelta revive;
+  revive.revived = crash.crashed;
+  session.apply(revive);
+  const PipelineResult after = session.run(cfg);
+  expect_same_result(before, after, "crash+revive round trip");
+  EXPECT_EQ(after.crashed_nodes, 0u);
+  EXPECT_EQ(session.num_alive(), net.num_nodes());
+}
+
+TEST(SessionDelta, OracleModeMatchesFromScratch) {
+  const net::Network net = sphere_network(15);
+  PipelineConfig cfg;
+  cfg.use_true_coordinates = true;
+
+  DetectionSession warm(net);
+  (void)warm.run(cfg);
+  NetworkDelta delta;
+  delta.crashed = {10, 11, 12, 80, 81, 150};
+  warm.apply(delta);
+  const PipelineResult incremental = warm.run(cfg);
+
+  DetectionSession cold(net);
+  cold.apply(delta);
+  expect_same_result(incremental, cold.run(cfg), "oracle incremental");
+}
+
+// (c) Fingerprint completeness: flipping any config field a stage reads
+// must invalidate exactly that stage and downstream — observable as the
+// session result staying bit-identical to a fresh run of the new config,
+// even right after the session cached a near-identical one.
+TEST(SessionFingerprint, EveryConfigFieldInvalidates) {
+  const net::Network net = sphere_network(16, 100, 160);
+  PipelineConfig base;
+  base.measurement_error = 0.2;
+  base.noise_seed = 5;
+
+  std::vector<std::pair<const char*, PipelineConfig>> variants;
+  const auto add = [&](const char* name, auto&& tweak) {
+    PipelineConfig cfg = base;
+    tweak(cfg);
+    variants.emplace_back(name, cfg);
+  };
+  add("measurement_error", [](PipelineConfig& c) { c.measurement_error = 0.4; });
+  add("noise_seed", [](PipelineConfig& c) { c.noise_seed = 6; });
+  add("use_true_coordinates",
+      [](PipelineConfig& c) { c.use_true_coordinates = true; });
+  add("group_off", [](PipelineConfig& c) { c.group = false; });
+  add("ubf.epsilon", [](PipelineConfig& c) { c.ubf.epsilon = 0.15; });
+  add("ubf.radius_override",
+      [](PipelineConfig& c) { c.ubf.radius_override = 1.2; });
+  add("ubf.inside_tolerance",
+      [](PipelineConfig& c) { c.ubf.inside_tolerance = 1e-3; });
+  add("ubf.two_hop_inside_margin",
+      [](PipelineConfig& c) { c.ubf.two_hop_inside_margin = 0.0; });
+  add("ubf.measurement_error_hint",
+      [](PipelineConfig& c) { c.ubf.measurement_error_hint = 0.5; });
+  add("ubf.noise_margin_factor",
+      [](PipelineConfig& c) { c.ubf.noise_margin_factor = 0.0; });
+  add("ubf.noise_margin_cap",
+      [](PipelineConfig& c) { c.ubf.noise_margin_cap = 0.05; });
+  add("ubf.min_empty_balls",
+      [](PipelineConfig& c) { c.ubf.min_empty_balls = 4; });
+  add("ubf.stress_gate_factor",
+      [](PipelineConfig& c) { c.ubf.stress_gate_factor = 0.5; });
+  add("ubf.stress_gate_floor",
+      [](PipelineConfig& c) { c.ubf.stress_gate_floor = 0.2; });
+  add("ubf.cross_verify", [](PipelineConfig& c) { c.ubf.cross_verify = false; });
+  add("ubf.verify_pool", [](PipelineConfig& c) { c.ubf.verify_pool = 1; });
+  add("ubf.degenerate_is_boundary",
+      [](PipelineConfig& c) { c.ubf.degenerate_is_boundary = false; });
+  add("ubf.scope", [](PipelineConfig& c) {
+    c.ubf.scope = UbfConfig::EmptinessScope::kOneHop;
+  });
+  add("iff.theta", [](PipelineConfig& c) { c.iff.theta = 3; });
+  add("iff.ttl", [](PipelineConfig& c) { c.iff.ttl = 5; });
+  add("iff.use_message_passing",
+      [](PipelineConfig& c) { c.iff.use_message_passing = false; });
+
+  DetectionSession session(net);
+  (void)session.run(base);  // warm every cache with the base config
+  const PipelineResult base_fresh = detect_boundaries(net, base);
+  for (const auto& [name, cfg] : variants) {
+    const PipelineResult via_session = session.run(cfg);
+    const PipelineResult fresh = detect_boundaries(net, cfg);
+    expect_same_result(via_session, fresh, name);
+    // Return to base between variants so each flip is tested against a
+    // fully warmed cache of a *different* config.
+    expect_same_result(session.run(base), base_fresh, name);
+  }
+}
+
+// (d) Thread-count independence: full runs and partial (post-delta) runs
+// must not depend on the worker pool size.
+TEST(SessionThreads, ResultIndependentOfThreadCount) {
+  const net::Network net = sphere_network(17);
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.2;
+  NetworkDelta delta;
+  delta.crashed = {7, 8, 9, 60, 61, 130};
+
+  std::vector<PipelineResult> full_runs;
+  std::vector<PipelineResult> partial_runs;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    PipelineConfig threaded = cfg;
+    threaded.threads = threads;
+    DetectionSession session(net);
+    full_runs.push_back(session.run(threaded));
+    session.apply(delta);
+    partial_runs.push_back(session.run(threaded));
+  }
+  for (std::size_t i = 1; i < full_runs.size(); ++i) {
+    expect_same_result(full_runs[0], full_runs[i], "full run thread sweep");
+    expect_same_result(partial_runs[0], partial_runs[i],
+                       "partial run thread sweep");
+  }
+}
+
+// Guard rails: double-crash/revive of the same node and fault+delta mixing
+// are rejected loudly rather than silently corrupting the alive set.
+TEST(SessionDelta, FaultConfigRejectedOnMaskedSession) {
+  const net::Network net = sphere_network(18, 80, 100);
+  DetectionSession session(net);
+  NetworkDelta delta;
+  delta.crashed = {1};
+  session.apply(delta);
+  PipelineConfig cfg;
+  cfg.faults.emplace();
+  EXPECT_THROW((void)session.run(cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ballfit::core
