@@ -11,7 +11,11 @@
 /// Flags: --step <pct> (default 20), --seed <n>, --scale <x> (default 0.8;
 /// pass 1.0 for the paper's 4210-node operating point), --out <path> (default
 /// bench_results.json — per-run telemetry: per-stage timings, message
-/// costs, detection stats).
+/// costs, detection stats), --trace <path> (off by default: record every
+/// span into the obs timeline and write a Chrome Trace Event JSON —
+/// open in chrome://tracing or Perfetto), --threads <n> (default 0 =
+/// hardware concurrency; with --trace, per-node spans land on one track
+/// per worker).
 
 #include <cstdio>
 
@@ -20,6 +24,8 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 using namespace ballfit;
 
@@ -28,9 +34,13 @@ int main(int argc, char** argv) {
   const auto seed =
       static_cast<std::uint64_t>(bench::int_flag(argc, argv, "--seed", 1));
   const double scale = bench::double_flag(argc, argv, "--scale", 0.8);
+  const auto threads =
+      static_cast<unsigned>(bench::int_flag(argc, argv, "--threads", 0));
+  const std::string trace_path = bench::string_flag(argc, argv, "--trace", "");
   bench::BenchReport report(
       "fig1_boundary_detection",
       bench::string_flag(argc, argv, "--out", "bench_results.json"));
+  if (!trace_path.empty()) obs::TraceTimeline::global().set_enabled(true);
 
   std::printf("== Fig. 1(g,h,i): boundary detection vs measurement error ==\n");
   const model::Scenario scenario = model::fig1_network(scale);
@@ -47,6 +57,7 @@ int main(int argc, char** argv) {
     core::PipelineConfig cfg;
     cfg.measurement_error = epct / 100.0;
     cfg.noise_seed = seed;
+    cfg.threads = threads;
     const core::PipelineResult result = core::detect_boundaries(network, cfg);
     const core::DetectionStats s =
         core::evaluate_detection(network, result.boundary);
@@ -81,5 +92,9 @@ int main(int argc, char** argv) {
   missing.print();
   report.print_last_run_summary();
   report.write();
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace(trace_path);
+    std::printf("wrote Chrome trace: %s\n", trace_path.c_str());
+  }
   return 0;
 }

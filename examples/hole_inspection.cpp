@@ -21,6 +21,7 @@
 #include "mesh/surface_stage.hpp"
 #include "model/zoo.hpp"
 #include "net/builder.hpp"
+#include "obs/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace ballfit;
@@ -40,6 +41,10 @@ int main(int argc, char** argv) {
       net::build_network(*scenario.shape, build, rng, &diag);
   std::printf("network: %zu nodes, average degree %.1f\n",
               network.num_nodes(), diag.average_degree);
+
+  // Collect the obs-gated quality telemetry (per-node confidence, per-group
+  // quality) so the report and the OBJ header can grade each boundary.
+  obs::set_enabled(true);
 
   core::PipelineConfig config;
   config.measurement_error = error;
@@ -68,15 +73,17 @@ int main(int argc, char** argv) {
     for (net::NodeId v : group)
       mean_r += network.position(v).distance_to(centroid);
     mean_r /= static_cast<double>(group.size());
+    const core::BoundaryQuality& quality = result.group_quality[order[rank]];
     std::printf("  %s: %zu nodes, centroid (%.1f, %.1f, %.1f), mean radius "
-                "%.2f\n",
+                "%.2f, quality %.2f (conf %.2f, flood %.2f)\n",
                 rank == 0 ? "outer boundary" : "internal hole", group.size(),
-                centroid.x, centroid.y, centroid.z, mean_r);
+                centroid.x, centroid.y, centroid.z, mean_r, quality.score,
+                quality.mean_confidence, quality.flood_margin);
   }
 
   mesh::SurfaceStage surface_stage;
   const mesh::SurfaceResult& surfaces = surface_stage.run(session, result);
-  mesh::write_obj(surfaces, "hole_inspection.obj");
+  mesh::write_obj(surfaces, "hole_inspection.obj", result.group_quality);
   std::printf("wrote hole_inspection.obj (%zu surfaces)\n",
               surfaces.surfaces.size());
 

@@ -33,4 +33,51 @@ BoundaryGroups group_boundaries(const net::Network& network,
   return out;
 }
 
+std::vector<BoundaryQuality> score_boundaries(
+    const BoundaryGroups& groups, std::uint32_t theta,
+    const std::vector<float>& confidence,
+    const std::vector<std::uint32_t>& flood_counts) {
+  const double th = theta == 0 ? 1.0 : static_cast<double>(theta);
+  std::vector<BoundaryQuality> out;
+  out.reserve(groups.groups.size());
+  for (const std::vector<net::NodeId>& members : groups.groups) {
+    BoundaryQuality q;
+    q.size = members.size();
+    q.leader = members.empty() ? net::kInvalidNode : members.front();
+    q.size_score = static_cast<double>(q.size) /
+                   (static_cast<double>(q.size) + th);
+
+    double conf_sum = 0.0;
+    double flood_sum = 0.0;
+    std::size_t conf_n = 0;
+    std::size_t flood_n = 0;
+    for (const net::NodeId v : members) {
+      if (v < confidence.size()) {
+        conf_sum += confidence[v];
+        ++conf_n;
+      }
+      if (v < flood_counts.size()) {
+        const double c = flood_counts[v];
+        flood_sum += c / (c + th);
+        ++flood_n;
+      }
+    }
+    double total = q.size_score;
+    int parts = 1;
+    if (conf_n > 0) {
+      q.mean_confidence = conf_sum / static_cast<double>(conf_n);
+      total += q.mean_confidence;
+      ++parts;
+    }
+    if (flood_n > 0) {
+      q.flood_margin = flood_sum / static_cast<double>(flood_n);
+      total += q.flood_margin;
+      ++parts;
+    }
+    q.score = total / parts;
+    out.push_back(q);
+  }
+  return out;
+}
+
 }  // namespace ballfit::core

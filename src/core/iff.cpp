@@ -8,11 +8,12 @@ namespace ballfit::core {
 std::vector<bool> iff_filter(const net::Network& network,
                              const std::vector<bool>& candidates,
                              const IffConfig& config, sim::RunStats* stats,
-                             const sim::ProtocolOptions& proto) {
+                             const sim::ProtocolOptions& proto,
+                             std::vector<std::uint32_t>* counts_out) {
   BALLFIT_REQUIRE(candidates.size() == network.num_nodes(),
                   "candidate mask size mismatch");
 
-  const std::vector<std::uint32_t> counts =
+  std::vector<std::uint32_t> counts =
       config.use_message_passing
           ? sim::ttl_flood_count(network, candidates, config.ttl, stats,
                                  proto)
@@ -22,6 +23,7 @@ std::vector<bool> iff_filter(const net::Network& network,
   for (net::NodeId v = 0; v < network.num_nodes(); ++v) {
     boundary[v] = candidates[v] && counts[v] >= config.theta;
   }
+  if (counts_out != nullptr) *counts_out = std::move(counts);
   return boundary;
 }
 

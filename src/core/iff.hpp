@@ -36,10 +36,15 @@ struct IffConfig {
 /// selects fault injection / retransmission for the flood (message-passing
 /// mode only — the oracle models a reliable network by definition); lost
 /// packets depress counts, so loss demotes borderline fragments first.
+/// `counts_out`, when non-null, receives the per-node originator counts
+/// the threshold was applied to (0 for non-candidates) — the flood margin
+/// `counts[v] - θ` is the graded fragment-size signal behind the binary
+/// verdict, consumed by the per-boundary quality scores (grouping.hpp).
 std::vector<bool> iff_filter(const net::Network& network,
                              const std::vector<bool>& candidates,
                              const IffConfig& config = {},
                              sim::RunStats* stats = nullptr,
-                             const sim::ProtocolOptions& proto = {});
+                             const sim::ProtocolOptions& proto = {},
+                             std::vector<std::uint32_t>* counts_out = nullptr);
 
 }  // namespace ballfit::core

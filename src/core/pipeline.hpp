@@ -71,6 +71,14 @@ struct PipelineResult {
   std::vector<bool> boundary;        ///< after Phase 2 (IFF) — final answer
   BoundaryGroups groups;             ///< boundary grouping (if requested)
 
+  /// Quality telemetry (additive — never feeds back into the flags above).
+  /// Populated only when `obs::enabled()` at run time; empty otherwise, so
+  /// the disabled pipeline does none of the extra vote counting. The
+  /// fault-injected path never produces them (its legacy kernel predates
+  /// the scores and is preserved verbatim).
+  std::vector<float> ubf_confidence;          ///< per node, see vote_confidence
+  std::vector<BoundaryQuality> group_quality; ///< parallel to groups.groups
+
   /// Cost of the IFF flooding protocol.
   sim::RunStats iff_cost;
   /// Cost of the grouping protocol.

@@ -285,8 +285,13 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
     } else {
       BALLFIT_SPAN("ubf");
       const UnitBallFitting ubf(*network_, ubf_config);
-      ubf_candidates_ =
-          ubf.detect_with_true_coordinates(&frame_fallbacks_, alive_mask);
+      // Confidence rides along only when someone is observing; it never
+      // feeds back into the flags, so the artifact key ignores it.
+      std::vector<float>* conf_out =
+          obs::enabled() ? &ubf_confidence_ : nullptr;
+      if (conf_out == nullptr) ubf_confidence_.clear();
+      ubf_candidates_ = ubf.detect_with_true_coordinates(
+          &frame_fallbacks_, alive_mask, conf_out);
       ubf_flags_.assign(n, 0);
       for (std::size_t i = 0; i < n; ++i) {
         ubf_flags_[i] = ubf_candidates_[i] ? 1 : 0;
@@ -300,6 +305,7 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
       note_stage("ubf", "full_runs");
     }
     result.ubf_candidates = ubf_candidates_;
+    result.ubf_confidence = ubf_confidence_;
     result.frame_fallbacks = frame_fallbacks_;
     return;
   }
@@ -401,6 +407,17 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
     const bool partial = ubf_valid_ && ubf_partial_ok_ &&
                          ubf_core_fp_ == core.value() &&
                          ubf_flags_.size() == n;
+    // Obs-gated confidence companion. A partial run can only update the
+    // entries it re-tests, so it needs a full-sized carry-over; when the
+    // previous artifact had no confidence (obs was off), start from zeros
+    // — the untested remainder reads 0 ("not scored"), never garbage.
+    std::vector<float>* conf_out = nullptr;
+    if (obs::enabled()) {
+      if (ubf_confidence_.size() != n) ubf_confidence_.assign(n, 0.0f);
+      conf_out = &ubf_confidence_;
+    } else {
+      ubf_confidence_.clear();
+    }
     if (partial) {
       // Re-test the dirty neighborhoods plus every alive node without a
       // usable frame — the only readers of the degenerate vote, which the
@@ -410,7 +427,7 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
       }
       stats_.last_nodes_retested = count_marks(ubf_dirty_);
       ubf.update_flags_on_frames(frames_, ubf_flags_, alive_mask,
-                                 &ubf_dirty_, threads);
+                                 &ubf_dirty_, threads, conf_out);
       ++stats_.ubf.partial_runs;
       note_stage("ubf", "partial_runs");
       if (obs::enabled()) {
@@ -421,7 +438,7 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
     } else {
       ubf_flags_.assign(n, 0);
       ubf.update_flags_on_frames(frames_, ubf_flags_, alive_mask,
-                                 /*run_mask=*/nullptr, threads);
+                                 /*run_mask=*/nullptr, threads, conf_out);
       ++stats_.ubf.full_runs;
       note_stage("ubf", "full_runs");
     }
@@ -436,6 +453,7 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
     std::fill(ubf_dirty_.begin(), ubf_dirty_.end(), 0);
   }
   result.ubf_candidates = ubf_candidates_;
+  result.ubf_confidence = ubf_confidence_;
   result.frame_fallbacks = frame_fallbacks_;
 }
 
@@ -458,8 +476,11 @@ void DetectionSession::run_filter_stages(const PipelineConfig& config,
     } else {
       BALLFIT_SPAN("iff");
       iff_cost_ = {};
+      std::vector<std::uint32_t>* counts_out =
+          obs::enabled() ? &iff_counts_ : nullptr;
+      if (counts_out == nullptr) iff_counts_.clear();
       boundary_ = iff_filter(*network_, ubf_candidates_, config.iff,
-                             &iff_cost_, proto);
+                             &iff_cost_, proto, counts_out);
       iff_fp_ = fp.value();
       iff_valid_ = true;
       ++stats_.iff.full_runs;
@@ -491,6 +512,24 @@ void DetectionSession::run_filter_stages(const PipelineConfig& config,
     }
     result.groups = groups_;
     result.grouping_cost = group_cost_;
+
+    // Per-boundary quality: cheap pure-function scoring over the cached
+    // artifacts, recomputed whenever someone is observing. Components
+    // whose inputs this run didn't produce (confidence/counts computed
+    // under an earlier obs-off run and cached away) drop out gracefully.
+    if (obs::enabled()) {
+      result.group_quality = score_boundaries(
+          groups_, config.iff.theta, ubf_confidence_, iff_counts_);
+      obs::Registry& reg = obs::Registry::global();
+      obs::Histogram& h_quality = reg.histogram(
+          "group.quality", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+      obs::Histogram& h_size = reg.histogram(
+          "group.size", {10, 20, 50, 100, 200, 500, 1000, 2000});
+      for (const BoundaryQuality& q : result.group_quality) {
+        h_quality.observe(q.score);
+        h_size.observe(static_cast<double>(q.size));
+      }
+    }
   }
 
   Fingerprint fp;
@@ -511,6 +550,7 @@ PipelineResult DetectionSession::run(const PipelineConfig& config) {
                     "fault injection cannot be combined with an applied "
                     "NetworkDelta — use one crash mechanism per session");
     ++stats_.fault_runs;
+    obs::count("session.fault_runs");
     return run_pipeline_with_faults(*network_, config, threads);
   }
 

@@ -145,6 +145,11 @@ class DetectionSession {
   // --- UBF artifact.
   std::vector<char> ubf_flags_;
   std::vector<bool> ubf_candidates_;  ///< published copy of ubf_flags_
+  /// Obs-gated companion to ubf_flags_ (see core::vote_confidence): filled
+  /// when `obs::enabled()` at compute time, cleared when the flags are
+  /// recomputed without it. Deliberately NOT part of any fingerprint —
+  /// it never influences flags, so cache identity ignores it.
+  std::vector<float> ubf_confidence_;
   std::size_t frame_fallbacks_ = 0;
   /// Exact-hit key: core key + degenerate vote + frames_version/epoch.
   std::uint64_t ubf_full_fp_ = 0;
@@ -161,6 +166,9 @@ class DetectionSession {
 
   // --- IFF artifact.
   std::vector<bool> boundary_;
+  /// Obs-gated per-node flood counts (iff_filter's counts_out); same
+  /// lifecycle as ubf_confidence_ — telemetry, never a cache key.
+  std::vector<std::uint32_t> iff_counts_;
   sim::RunStats iff_cost_;
   std::uint64_t iff_fp_ = 0;
   bool iff_valid_ = false;

@@ -17,6 +17,12 @@ namespace ballfit::core {
 using geom::Vec3;
 using net::NodeId;
 
+double vote_confidence(std::size_t votes, std::size_t threshold) {
+  if (threshold == 0) return votes > 0 ? 1.0 : 0.0;
+  return static_cast<double>(votes) /
+         static_cast<double>(votes + threshold);
+}
+
 UnitBallFitting::UnitBallFitting(const net::Network& network, UbfConfig config)
     : network_(&network), config_(config) {
   BALLFIT_REQUIRE(config_.epsilon >= 0.0, "epsilon must be non-negative");
@@ -300,6 +306,32 @@ UnitBallFitting::collect_empty_balls(const std::vector<Vec3>& coords,
   return out;
 }
 
+std::size_t UnitBallFitting::count_empty_balls(const std::vector<Vec3>& coords,
+                                               std::size_t self_index,
+                                               std::size_t witness_count,
+                                               std::size_t cap,
+                                               double coord_uncertainty,
+                                               UbfNodeDiagnostics* diag) const {
+  BALLFIT_REQUIRE(self_index < coords.size(), "self index out of range");
+  BALLFIT_REQUIRE(witness_count <= coords.size(),
+                  "witness count exceeds member count");
+  UbfNodeDiagnostics local;
+  if (cap > 0) {
+    const InsideLimits limits = inside_limits(coord_uncertainty);
+    BallSweep sweep(coords, self_index, witness_count, radius_, limits,
+                    local_scratch());
+    // Same kContinue walk as test_node (multiple balls per pair count),
+    // only the stop condition moves from min_empty_balls out to cap.
+    sweep.run(local, [&](std::size_t, std::size_t) {
+      return local.empty_balls >= cap ? BallSweep::Step::kStop
+                                      : BallSweep::Step::kContinue;
+    });
+  }
+  local.found_empty_ball = local.empty_balls >= config_.min_empty_balls;
+  if (diag != nullptr) *diag = local;
+  return local.empty_balls;
+}
+
 bool UnitBallFitting::witness_confirms(const localization::LocalFrame& frame,
                                        NodeId a, NodeId b, NodeId c) const {
   if (!frame.ok) return true;  // witness cannot evaluate — no veto
@@ -345,9 +377,16 @@ void run_ball_tests(const UnitBallFitting& ubf,
                     const std::vector<localization::LocalFrame>& frames,
                     std::vector<char>& flags, const std::vector<char>* alive,
                     const std::vector<char>* run_mask, unsigned workers,
-                    std::atomic<std::size_t>* fallbacks) {
+                    std::atomic<std::size_t>* fallbacks,
+                    std::vector<float>* confidence) {
   const UbfConfig& config = ubf.config();
   const std::size_t n = frames.size();
+  const bool want_conf = confidence != nullptr;
+  // Votes are counted past the decision threshold only up to this cap —
+  // bounded extra work, and enough margin to separate "barely boundary"
+  // from "saturated".
+  const std::size_t conf_cap =
+      std::max(config.verify_pool, config.min_empty_balls);
 
   // Per-node work histograms (Theorem 1's Θ(ρ³) in the wild). Handles are
   // fetched once here so the parallel workers below never touch the
@@ -355,6 +394,7 @@ void run_ball_tests(const UnitBallFitting& ubf,
   obs::Histogram* h_neighbors = nullptr;
   obs::Histogram* h_balls = nullptr;
   obs::Histogram* h_empty = nullptr;
+  obs::Histogram* h_conf = nullptr;
   if (obs::enabled()) {
     obs::Registry& reg = obs::Registry::global();
     h_neighbors = &reg.histogram("ubf.node_neighbors",
@@ -362,6 +402,10 @@ void run_ball_tests(const UnitBallFitting& ubf,
     h_balls = &reg.histogram("ubf.candidate_balls",
                              {0, 50, 100, 200, 400, 800, 1600, 3200});
     h_empty = &reg.histogram("ubf.empty_balls", {0, 1, 2, 4, 8, 16, 32});
+    if (want_conf) {
+      h_conf = &reg.histogram(
+          "ubf.confidence", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+    }
   }
 
   BALLFIT_SPAN("ball_test");
@@ -372,13 +416,22 @@ void run_ball_tests(const UnitBallFitting& ubf,
         if (run_mask != nullptr && (*run_mask)[i] == 0) return;
         const obs::SpanPathScope adopt(parent);
         BALLFIT_SPAN("node");
+        const auto set_conf = [&](double c) {
+          if (!want_conf) return;
+          (*confidence)[i] = static_cast<float>(c);
+          if (h_conf != nullptr) h_conf->observe(c);
+        };
         if (alive != nullptr && (*alive)[i] == 0) {
           flags[i] = 0;  // crashed nodes claim nothing
+          if (want_conf) (*confidence)[i] = 0.0f;
           return;
         }
         const localization::LocalFrame& frame = frames[i];
         if (!frame.ok) {
           flags[i] = config.degenerate_is_boundary ? 1 : 0;
+          // A degenerate fallback is a claim with no ball evidence: pin it
+          // to the decision threshold when it votes boundary.
+          set_conf(config.degenerate_is_boundary ? 0.5 : 0.0);
           if (fallbacks != nullptr) {
             fallbacks->fetch_add(1, std::memory_order_relaxed);
           }
@@ -390,15 +443,24 @@ void run_ball_tests(const UnitBallFitting& ubf,
               static_cast<double>(frame.one_hop_count - 1));
         }
         if (!ubf.frame_reliable(frame.stress_rms)) {
-          flags[i] = 0;
+          flags[i] = 0;  // abstention, not evidence — score it as none
+          set_conf(0.0);
           return;
         }
         UbfNodeDiagnostics diag;
         if (!config.cross_verify) {
-          flags[i] = ubf.test_node(frame.coords, 0, frame.one_hop_count,
-                                   &diag, frame.stress_rms)
-                         ? 1
-                         : 0;
+          if (want_conf) {
+            const std::size_t votes =
+                ubf.count_empty_balls(frame.coords, 0, frame.one_hop_count,
+                                      conf_cap, frame.stress_rms, &diag);
+            flags[i] = votes >= config.min_empty_balls ? 1 : 0;
+            set_conf(vote_confidence(votes, config.min_empty_balls));
+          } else {
+            flags[i] = ubf.test_node(frame.coords, 0, frame.one_hop_count,
+                                     &diag, frame.stress_rms)
+                           ? 1
+                           : 0;
+          }
         } else {
           const std::size_t pool =
               std::max(config.verify_pool, config.min_empty_balls);
@@ -414,10 +476,13 @@ void run_ball_tests(const UnitBallFitting& ubf,
                 ubf.witness_confirms(frames[kn], kn, static_cast<NodeId>(i),
                                      jn)) {
               ++verified;
-              if (verified >= config.min_empty_balls) break;
+              // The verdict is sealed at the threshold; only keep
+              // verifying past it when the margin is wanted.
+              if (!want_conf && verified >= config.min_empty_balls) break;
             }
           }
           flags[i] = verified >= config.min_empty_balls ? 1 : 0;
+          set_conf(vote_confidence(verified, config.min_empty_balls));
         }
         if (h_balls != nullptr) {
           h_balls->observe(static_cast<double>(diag.balls_tested));
@@ -454,17 +519,18 @@ std::vector<bool> UnitBallFitting::detect(
 
 std::vector<bool> UnitBallFitting::detect_on_frames(
     const std::vector<localization::LocalFrame>& frames, unsigned threads,
-    std::size_t* frame_fallbacks) const {
+    std::size_t* frame_fallbacks, std::vector<float>* confidence) const {
   const std::size_t n = network_->num_nodes();
   BALLFIT_REQUIRE(frames.size() == n, "one frame per node required");
   const unsigned workers = threads == 0 ? default_threads() : threads;
+  if (confidence != nullptr) confidence->assign(n, 0.0f);
 
   // vector<bool> is not safe for concurrent writes, hence the char staging
   // buffer.
   std::vector<char> flags(n, 0);
   std::atomic<std::size_t> fallbacks{0};
   run_ball_tests(*this, frames, flags, /*alive=*/nullptr,
-                 /*run_mask=*/nullptr, workers, &fallbacks);
+                 /*run_mask=*/nullptr, workers, &fallbacks, confidence);
 
   if (frame_fallbacks != nullptr) {
     *frame_fallbacks = fallbacks.load(std::memory_order_relaxed);
@@ -477,27 +543,45 @@ std::vector<bool> UnitBallFitting::detect_on_frames(
 void UnitBallFitting::update_flags_on_frames(
     const std::vector<localization::LocalFrame>& frames,
     std::vector<char>& flags, const std::vector<char>* alive,
-    const std::vector<char>* run_mask, unsigned threads) const {
+    const std::vector<char>* run_mask, unsigned threads,
+    std::vector<float>* confidence) const {
   const std::size_t n = network_->num_nodes();
   BALLFIT_REQUIRE(frames.size() == n, "one frame per node required");
   BALLFIT_REQUIRE(flags.size() == n, "flags must be sized num_nodes");
+  BALLFIT_REQUIRE(confidence == nullptr || confidence->size() == n,
+                  "confidence must be pre-sized num_nodes");
   const unsigned workers = threads == 0 ? default_threads() : threads;
   run_ball_tests(*this, frames, flags, alive, run_mask, workers,
-                 /*fallbacks=*/nullptr);
+                 /*fallbacks=*/nullptr, confidence);
 }
 
 std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
-    std::size_t* frame_fallbacks, const std::vector<char>* alive) const {
+    std::size_t* frame_fallbacks, const std::vector<char>* alive,
+    std::vector<float>* confidence) const {
   BALLFIT_SPAN("true_coords");
   const std::size_t n = network_->num_nodes();
   BALLFIT_REQUIRE(alive == nullptr || alive->size() == n,
                   "alive mask must be sized num_nodes");
   const bool two_hop = config_.scope == UbfConfig::EmptinessScope::kTwoHop;
+  const bool want_conf = confidence != nullptr;
+  if (want_conf) confidence->assign(n, 0.0f);
+  const std::size_t conf_cap =
+      std::max(config_.verify_pool, config_.min_empty_balls);
   obs::Histogram* h_balls = nullptr;
+  obs::Histogram* h_conf = nullptr;
   if (obs::enabled()) {
     h_balls = &obs::Registry::global().histogram(
         "ubf.candidate_balls", {0, 50, 100, 200, 400, 800, 1600, 3200});
+    if (want_conf) {
+      h_conf = &obs::Registry::global().histogram(
+          "ubf.confidence", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+    }
   }
+  const auto set_conf = [&](NodeId i, double c) {
+    if (!want_conf) return;
+    (*confidence)[i] = static_cast<float>(c);
+    if (h_conf != nullptr) h_conf->observe(c);
+  };
   std::vector<bool> boundary(n, false);
   std::size_t fallbacks = 0;
 
@@ -525,6 +609,7 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
     const std::size_t witness_count = coords.size();
     if (witness_count < 4) {
       boundary[i] = config_.degenerate_is_boundary;
+      set_conf(i, config_.degenerate_is_boundary ? 0.5 : 0.0);
       ++fallbacks;
       continue;
     }
@@ -540,8 +625,16 @@ std::vector<bool> UnitBallFitting::detect_with_true_coordinates(
       }
     }
     UbfNodeDiagnostics diag;
-    boundary[i] = test_node(coords, 0, witness_count, &diag,
-                            /*coord_uncertainty=*/0.0);
+    if (want_conf) {
+      const std::size_t votes =
+          count_empty_balls(coords, 0, witness_count, conf_cap,
+                            /*coord_uncertainty=*/0.0, &diag);
+      boundary[i] = votes >= config_.min_empty_balls;
+      set_conf(i, vote_confidence(votes, config_.min_empty_balls));
+    } else {
+      boundary[i] = test_node(coords, 0, witness_count, &diag,
+                              /*coord_uncertainty=*/0.0);
+    }
     if (h_balls != nullptr) {
       h_balls->observe(static_cast<double>(diag.balls_tested));
     }

@@ -99,6 +99,32 @@ struct UbfConfig {
   EmptinessScope scope = EmptinessScope::kTwoHop;
 };
 
+/// Graded boundary-ness for observability (ROADMAP: "confidence-scored
+/// boundaries"). The binary flag thresholds the empty-ball vote count at
+/// `min_empty_balls` (= T); the confidence keeps the margin:
+///
+///   conf = votes / (votes + T),  votes counted up to max(verify_pool, T)
+///
+/// so conf >= 0.5 exactly when the flag is set, conf = 0 means no empty
+/// ball at all, and saturation approaches (but never reaches) 1. Nodes
+/// that never run the test score by provenance: crashed or stress-gated
+/// nodes 0, degenerate-neighborhood fallbacks exactly 0.5 when they vote
+/// boundary (a claim with no ball evidence) and 0 otherwise. On the vote
+/// counting paths (no cross-verification, or true coordinates) the score
+/// is monotone non-increasing in T for a fixed network
+/// (tests/ubf_test.cpp::MonotoneInMinEmptyBalls); under cross-verification
+/// the collected candidate pool grows with T, so a rejected candidate can
+/// be displaced by a verifying one and the margin may wobble within the
+/// same side of the threshold.
+///
+/// Computing the margin means counting votes *past* the decision
+/// threshold, work the classification itself never needs — so confidence
+/// is only produced when a caller passes an output vector, and the
+/// pipeline only asks when `obs::enabled()`. Flags are bit-identical
+/// either way: the extra counting starts after the threshold decision is
+/// already determined.
+double vote_confidence(std::size_t votes, std::size_t threshold);
+
 /// Per-node work counters (Theorem 1's Θ(ρ³) in the wild).
 struct UbfNodeDiagnostics {
   /// Candidate balls whose emptiness was evaluated (count, default 0).
@@ -143,9 +169,13 @@ class UnitBallFitting {
   /// produced by `localization::build_all_frames` with the scope from
   /// `config()`). `detect` is exactly frame build + this call, bit for
   /// bit; `DetectionSession` uses the split to reuse frames across runs.
+  /// `confidence`, when non-null, is resized to num_nodes and filled with
+  /// the per-node score described at `vote_confidence` (requests the
+  /// extra vote counting; flags are unaffected).
   std::vector<bool> detect_on_frames(
       const std::vector<localization::LocalFrame>& frames,
-      unsigned threads = 0, std::size_t* frame_fallbacks = nullptr) const;
+      unsigned threads = 0, std::size_t* frame_fallbacks = nullptr,
+      std::vector<float>* confidence = nullptr) const;
 
   /// Masked / partial variant of `detect_on_frames` for incremental
   /// re-detection: recomputes `flags[i]` (1 = candidate) for every node
@@ -155,10 +185,13 @@ class UnitBallFitting {
   /// witnesses' frames, config), so running this over a dirty set that
   /// covers every node whose inputs changed reproduces the full run
   /// bit-identically. Thread-count independent like `detect`.
+  /// `confidence`, when non-null, must be pre-sized to num_nodes; entries
+  /// are rewritten under the same mask discipline as `flags`.
   void update_flags_on_frames(
       const std::vector<localization::LocalFrame>& frames,
       std::vector<char>& flags, const std::vector<char>* alive = nullptr,
-      const std::vector<char>* run_mask = nullptr, unsigned threads = 0) const;
+      const std::vector<char>* run_mask = nullptr, unsigned threads = 0,
+      std::vector<float>* confidence = nullptr) const;
 
   /// Oracle detection using true coordinates (the 0%-error reference; UBF
   /// is invariant to the rigid-motion gauge, so this equals `detect` with a
@@ -168,7 +201,8 @@ class UnitBallFitting {
   /// are never counted as fallbacks); null is the pre-mask behavior.
   std::vector<bool> detect_with_true_coordinates(
       std::size_t* frame_fallbacks = nullptr,
-      const std::vector<char>* alive = nullptr) const;
+      const std::vector<char>* alive = nullptr,
+      std::vector<float>* confidence = nullptr) const;
 
   /// The per-node kernel: runs the unit-ball test on an explicit point set.
   /// `coords[self_index]` is the node under test; entries with index
@@ -197,6 +231,18 @@ class UnitBallFitting {
       const std::vector<geom::Vec3>& coords, std::size_t self_index,
       std::size_t witness_count, std::size_t max_balls,
       double coord_uncertainty, UbfNodeDiagnostics* diag = nullptr) const;
+
+  /// Number of empty candidate balls, counted in exactly `test_node`'s
+  /// enumeration order but *without* stopping at the vote threshold —
+  /// the sweep runs until `cap` empty balls are found or the pairs are
+  /// exhausted. With cap >= min_empty_balls, `count >= min_empty_balls`
+  /// reproduces `test_node`'s verdict bit for bit; the surplus over the
+  /// threshold is the confidence margin.
+  std::size_t count_empty_balls(const std::vector<geom::Vec3>& coords,
+                                std::size_t self_index,
+                                std::size_t witness_count, std::size_t cap,
+                                double coord_uncertainty = -1.0,
+                                UbfNodeDiagnostics* diag = nullptr) const;
 
   /// Witness-side check: in `frame` (the witness's own frame), is at least
   /// one of the balls through nodes (a, b, c) empty? Returns true when the

@@ -5,6 +5,13 @@
 
 namespace ballfit::mesh {
 
+double mesh_closedness(const TriMesh& mesh) {
+  const TriMesh::ManifoldReport r = mesh.manifold_report();
+  if (r.num_edges == 0) return 0.0;
+  return static_cast<double>(r.edges_two_faces) /
+         static_cast<double>(r.num_edges);
+}
+
 SurfaceQuality evaluate_surface(const BoundarySurface& surface,
                                 const model::Shape& shape) {
   SurfaceQuality q;

@@ -30,6 +30,11 @@ struct SurfaceQuality {
   TriMesh::ManifoldReport manifold;
 };
 
+/// Share of mesh edges with exactly two triangular faces (1.0 = every edge
+/// closed, the 2-manifold target). Shape-free — usable on deployments where
+/// no generating model exists, e.g. the OBJ export annotations.
+double mesh_closedness(const TriMesh& mesh);
+
 /// Scores one reconstructed surface against the generating model.
 SurfaceQuality evaluate_surface(const BoundarySurface& surface,
                                 const model::Shape& shape);

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "mesh/metrics.hpp"
 
 namespace ballfit::mesh {
 
@@ -20,6 +22,23 @@ void append_surface(std::ostringstream& out, const BoundarySurface& surface,
     out << "f " << (vertex_offset + t[0] + 1) << " "
         << (vertex_offset + t[1] + 1) << " " << (vertex_offset + t[2] + 1)
         << "\n";
+  }
+}
+
+void append_quality_header(std::ostringstream& out, const SurfaceResult& result,
+                           const std::vector<core::BoundaryQuality>& quality) {
+  for (std::size_t i = 0; i < result.surfaces.size(); ++i) {
+    const BoundarySurface& s = result.surfaces[i];
+    out << "# quality boundary_" << i << " leader=" << s.group_leader
+        << " closed=" << format_double(mesh_closedness(s.mesh), 3);
+    for (const core::BoundaryQuality& q : quality) {
+      if (q.leader != s.group_leader) continue;
+      out << " score=" << format_double(q.score, 3) << " size=" << q.size
+          << " conf=" << format_double(q.mean_confidence, 3)
+          << " flood=" << format_double(q.flood_margin, 3);
+      break;
+    }
+    out << "\n";
   }
 }
 }  // namespace
@@ -42,11 +61,36 @@ std::string to_obj(const SurfaceResult& result) {
   return out.str();
 }
 
-void write_obj(const SurfaceResult& result, const std::string& path) {
+std::string to_obj(const SurfaceResult& result,
+                   const std::vector<core::BoundaryQuality>& quality) {
+  std::ostringstream out;
+  out << "# ballfit boundary surfaces (" << result.surfaces.size() << ")\n";
+  append_quality_header(out, result, quality);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < result.surfaces.size(); ++i) {
+    append_surface(out, result.surfaces[i], i, offset);
+    offset += result.surfaces[i].mesh.num_vertices();
+  }
+  return out.str();
+}
+
+namespace {
+void write_obj_text(const std::string& text, const std::string& path) {
   std::ofstream f(path);
   BALLFIT_REQUIRE(f.good(), "cannot open OBJ output file: " + path);
-  f << to_obj(result);
+  f << text;
+  f.flush();
   BALLFIT_REQUIRE(f.good(), "failed writing OBJ output file: " + path);
+}
+}  // namespace
+
+void write_obj(const SurfaceResult& result, const std::string& path) {
+  write_obj_text(to_obj(result), path);
+}
+
+void write_obj(const SurfaceResult& result, const std::string& path,
+               const std::vector<core::BoundaryQuality>& quality) {
+  write_obj_text(to_obj(result, quality), path);
 }
 
 }  // namespace ballfit::mesh

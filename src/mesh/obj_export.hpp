@@ -17,7 +17,25 @@ std::string to_obj(const BoundarySurface& surface);
 /// Serializes all surfaces into one OBJ with per-surface `o` objects.
 std::string to_obj(const SurfaceResult& result);
 
+/// Quality-annotated variant: prepends one comment line per surface to the
+/// header,
+///
+///   # quality boundary_<i> leader=<l> closed=<share> [score=<s> size=<n>
+///     conf=<c> flood=<f>]
+///
+/// where `closed` is the mesh-side closedness (mesh_closedness: share of
+/// edges with exactly two faces) and the bracketed fields come from the
+/// core-side `BoundaryQuality` entry whose leader matches the surface's
+/// group leader (omitted when no entry matches — e.g. quality was computed
+/// with obs disabled, or the group fell under `min_group_size`).
+std::string to_obj(const SurfaceResult& result,
+                   const std::vector<core::BoundaryQuality>& quality);
+
 /// Writes `to_obj(result)` to `path`; throws on I/O failure.
 void write_obj(const SurfaceResult& result, const std::string& path);
+
+/// Writes the quality-annotated form; throws on I/O failure.
+void write_obj(const SurfaceResult& result, const std::string& path,
+               const std::vector<core::BoundaryQuality>& quality);
 
 }  // namespace ballfit::mesh

@@ -82,6 +82,77 @@ void append_jsonl(const std::string& path, const RunSnapshot& snap,
   std::ofstream out(path, std::ios::app);
   BALLFIT_REQUIRE(out.good(), "append_jsonl: cannot open " + path);
   out << w.str() << '\n';
+  out.flush();
+  // A full disk or yanked mount fails the *write*, not the open — check
+  // again so a truncated JSONL trajectory is a loud error, not a surprise
+  // three analysis steps later.
+  BALLFIT_REQUIRE(out.good(), "append_jsonl: write failed for " + path);
+}
+
+std::string to_chrome_trace(const TraceTimeline::Snapshot& timeline) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& ev : timeline.events) {
+    if (std::find(tids.begin(), tids.end(), ev.tid) == tids.end()) {
+      tids.push_back(ev.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const std::uint32_t tid : tids) {
+    w.begin_object()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", tid);
+    w.key("args").begin_object();
+    w.field("name", tid == 0 ? std::string("main")
+                             : "worker-" + std::to_string(tid));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const TraceEvent& ev : timeline.events) {
+    const std::size_t last_slash = ev.path.rfind('/');
+    const std::string_view name =
+        last_slash == std::string::npos
+            ? std::string_view(ev.path)
+            : std::string_view(ev.path).substr(last_slash + 1);
+    w.begin_object()
+        .field("name", name)
+        .field("cat", "span")
+        .field("ph", "X")
+        .field("ts", static_cast<double>(ev.start_ns) / 1e3)
+        .field("dur", static_cast<double>(ev.dur_ns) / 1e3)
+        .field("pid", 1)
+        .field("tid", ev.tid);
+    w.key("args").begin_object().field("path", ev.path).end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("otherData").begin_object();
+  w.field("dropped_events", timeline.dropped);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const TraceTimeline::Snapshot& timeline) {
+  std::ofstream out(path, std::ios::trunc);
+  BALLFIT_REQUIRE(out.good(), "write_chrome_trace: cannot open " + path);
+  out << to_chrome_trace(timeline) << '\n';
+  out.flush();
+  BALLFIT_REQUIRE(out.good(), "write_chrome_trace: write failed for " + path);
+}
+
+void write_chrome_trace(const std::string& path) {
+  write_chrome_trace(path, TraceTimeline::global().snapshot());
 }
 
 std::string render_table(const RunSnapshot& snap) {

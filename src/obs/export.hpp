@@ -42,6 +42,22 @@ std::string to_json(const RunSnapshot& snap);
 void append_jsonl(const std::string& path, const RunSnapshot& snap,
                   const std::string& label = "");
 
+/// Renders a timeline snapshot in Chrome Trace Event Format — the JSON
+/// object `{"displayTimeUnit":"ms","traceEvents":[...]}` that
+/// chrome://tracing and Perfetto load directly. Each event is a complete
+/// ("ph":"X") slice: name = last path component, ts/dur in microseconds,
+/// pid 1, tid = the recording worker's `current_thread_id()`, and the full
+/// slash-joined path under "args". Per-tid thread_name metadata events
+/// label the tracks. A nonzero dropped count is recorded under
+/// "otherData".
+std::string to_chrome_trace(const TraceTimeline::Snapshot& timeline);
+
+/// `to_chrome_trace` of the given (default: current global) timeline,
+/// written to `path`. Throws on IO failure.
+void write_chrome_trace(const std::string& path,
+                        const TraceTimeline::Snapshot& timeline);
+void write_chrome_trace(const std::string& path);
+
 /// Aligned tables of spans (indented by nesting depth) and metrics.
 std::string render_table(const RunSnapshot& snap);
 

@@ -6,7 +6,17 @@ namespace ballfit::obs {
 
 namespace {
 thread_local std::string t_path;  // slash-joined stack of open span names
+
+std::uint32_t next_thread_id() {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace
+
+std::uint32_t current_thread_id() {
+  thread_local const std::uint32_t id = next_thread_id();
+  return id;
+}
 
 TraceAggregator& TraceAggregator::global() {
   static TraceAggregator* instance = new TraceAggregator();
@@ -40,6 +50,67 @@ void TraceAggregator::reset() {
 
 std::string current_span_path() { return t_path; }
 
+TraceTimeline& TraceTimeline::global() {
+  static TraceTimeline* instance = new TraceTimeline();
+  return *instance;
+}
+
+void TraceTimeline::set_enabled(bool on, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  if (on) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    events_.reserve(std::min<std::size_t>(capacity_, 1024));
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void TraceTimeline::record(const std::string& path,
+                           std::chrono::steady_clock::time_point start,
+                           std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  const std::uint32_t tid = current_thread_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;  // raced a disable
+  const std::uint64_t start_ns =
+      start < epoch_ ? 0
+                     : static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               start - epoch_)
+                               .count());
+  TraceEvent ev{path, start_ns, dur_ns, tid};
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(ev));
+  } else {
+    events_[head_] = std::move(ev);  // overwrite the oldest slot
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+TraceTimeline::Snapshot TraceTimeline::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.dropped = dropped_;
+  snap.events.reserve(events_.size());
+  // head_..end are the oldest events once the ring has wrapped.
+  for (std::size_t i = head_; i < events_.size(); ++i) {
+    snap.events.push_back(events_[i]);
+  }
+  for (std::size_t i = 0; i < head_; ++i) snap.events.push_back(events_[i]);
+  return snap;
+}
+
+void TraceTimeline::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
 ScopedSpan::ScopedSpan(std::string_view name) : active_(enabled()) {
   if (!active_) return;
   prev_len_ = t_path.size();
@@ -51,11 +122,10 @@ ScopedSpan::ScopedSpan(std::string_view name) : active_(enabled()) {
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   const auto elapsed = std::chrono::steady_clock::now() - start_;
-  TraceAggregator::global().record(
-      t_path,
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-              .count()));
+  const auto elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  TraceAggregator::global().record(t_path, elapsed_ns);
+  TraceTimeline::global().record(t_path, start_, elapsed_ns);
   t_path.resize(prev_len_);
 }
 

@@ -25,6 +25,14 @@
 /// Recording is thread-safe (the aggregator map is mutex-guarded) and all
 /// of it is skipped when `obs::enabled()` is false — a disabled span is a
 /// single relaxed atomic load.
+///
+/// Besides the aggregate table there is an opt-in *timeline*: when
+/// `TraceTimeline::global().set_enabled(true)` is called, every span exit
+/// additionally appends one event {path, start, duration, thread} to a
+/// bounded ring buffer, which `write_chrome_trace` (export.hpp) renders in
+/// Chrome Trace Event Format for chrome://tracing / Perfetto. The timeline
+/// is off by default and costs nothing when disabled (one relaxed load per
+/// span exit, and only for spans that were already enabled).
 
 #include <chrono>
 #include <cstdint>
@@ -32,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -68,6 +77,59 @@ class TraceAggregator {
 
 /// The calling thread's active span path ("" outside any span).
 std::string current_span_path();
+
+/// Small sequential id of the calling thread (0 = first thread that asked,
+/// usually main). Stable for the thread's lifetime; used as the Chrome
+/// trace "tid" so `parallel_for` workers land on distinct tracks.
+std::uint32_t current_thread_id();
+
+/// One completed span occurrence on the timeline.
+struct TraceEvent {
+  std::string path;        // slash-joined span path at exit
+  std::uint64_t start_ns;  // since the timeline epoch (set_enabled(true))
+  std::uint64_t dur_ns;
+  std::uint32_t tid;       // current_thread_id() of the recording thread
+};
+
+/// Opt-in bounded event log fed by `ScopedSpan` exits. Keeps the most
+/// recent `capacity` events (drop-oldest) plus a count of what was dropped,
+/// so a long run cannot grow without bound. Disabled by default; enabling
+/// it stamps the epoch all event timestamps are relative to.
+class TraceTimeline {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  static TraceTimeline& global();
+
+  /// Turns event recording on/off. Enabling clears the buffer, applies
+  /// `capacity`, and restarts the epoch clock.
+  void set_enabled(bool on, std::size_t capacity = kDefaultCapacity);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one event (no-op when disabled). `start` is the span's
+  /// steady_clock begin; the timeline converts to epoch-relative ns.
+  void record(const std::string& path,
+              std::chrono::steady_clock::time_point start,
+              std::uint64_t dur_ns);
+
+  struct Snapshot {
+    std::vector<TraceEvent> events;  // chronological (oldest first)
+    std::uint64_t dropped = 0;       // evicted by the ring bound
+  };
+  Snapshot snapshot() const;
+
+  /// Clears events and the dropped count; keeps enabled state and epoch.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t head_ = 0;  // next write slot once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
 
 /// RAII span: pushes `name` onto the thread's path on construction, records
 /// the elapsed wall-clock into the global aggregator on destruction.

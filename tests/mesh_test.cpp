@@ -239,5 +239,39 @@ TEST_F(SphereSurface, ObjExportWellFormed) {
   EXPECT_EQ(f_lines, want_f);
 }
 
+TEST_F(SphereSurface, ObjExportQualityHeader) {
+  const SurfaceResult surfaces =
+      build_surfaces(*net_, result_->boundary, result_->groups);
+  ASSERT_FALSE(surfaces.surfaces.empty());
+  const std::vector<core::BoundaryQuality> quality =
+      core::score_boundaries(result_->groups, /*theta=*/20);
+  const std::string obj = to_obj(surfaces, quality);
+
+  // One "# quality" comment line per surface, before any geometry, carrying
+  // the mesh closedness and the matched core score.
+  std::istringstream in(obj);
+  std::string line;
+  std::size_t quality_lines = 0;
+  bool geometry_seen = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("v ", 0) == 0 || line.rfind("o ", 0) == 0)
+      geometry_seen = true;
+    if (line.rfind("# quality boundary_", 0) == 0) {
+      EXPECT_FALSE(geometry_seen) << "quality must stay in the header";
+      EXPECT_NE(line.find("closed="), std::string::npos) << line;
+      EXPECT_NE(line.find("score="), std::string::npos) << line;
+      EXPECT_NE(line.find("size="), std::string::npos) << line;
+      ++quality_lines;
+    }
+  }
+  EXPECT_EQ(quality_lines, surfaces.surfaces.size());
+
+  // An empty quality vector still annotates closedness, nothing else.
+  const std::string bare = to_obj(surfaces, {});
+  EXPECT_NE(bare.find("# quality boundary_0"), std::string::npos);
+  EXPECT_NE(bare.find("closed="), std::string::npos);
+  EXPECT_EQ(bare.find("score="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ballfit::mesh

@@ -10,6 +10,9 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +22,7 @@
 #include "core/pipeline.hpp"
 #include "model/shapes.hpp"
 #include "net/builder.hpp"
+#include "obs/diff.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -301,6 +305,166 @@ TEST_F(ObsTrace, DisabledSpansRecordNothing) {
   }
   EXPECT_TRUE(TraceAggregator::global().snapshot().empty());
   set_enabled(true);
+}
+
+// --- Timeline + Chrome trace export ----------------------------------------
+
+/// Enables the event timeline alongside the registry for one test.
+class ObsTimeline : public ObsEnabledScope {
+ protected:
+  void SetUp() override {
+    ObsEnabledScope::SetUp();
+    TraceTimeline::global().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceTimeline::global().set_enabled(false);
+    ObsEnabledScope::TearDown();
+  }
+};
+
+TEST_F(ObsTimeline, RecordsEventsInOrder) {
+  {
+    BALLFIT_SPAN("tl_outer");
+    BALLFIT_SPAN("tl_inner");
+  }
+  const TraceTimeline::Snapshot snap = TraceTimeline::global().snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.dropped, 0u);
+  // Spans close inner-first, so the inner event is recorded first; both
+  // carry the full slash path and a start inside the enabled window.
+  EXPECT_EQ(snap.events[0].path, "tl_outer/tl_inner");
+  EXPECT_EQ(snap.events[1].path, "tl_outer");
+  EXPECT_LE(snap.events[1].start_ns, snap.events[0].start_ns);
+  EXPECT_GE(snap.events[1].dur_ns, snap.events[0].dur_ns);
+}
+
+TEST_F(ObsTimeline, RingBufferDropsOldestBeyondCapacity) {
+  TraceTimeline::global().set_enabled(true, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    BALLFIT_SPAN("wrap");
+  }
+  const TraceTimeline::Snapshot snap = TraceTimeline::global().snapshot();
+  EXPECT_EQ(snap.events.size(), 4u);
+  EXPECT_EQ(snap.dropped, 6u);
+  // Chronological order survives the wrap.
+  for (std::size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_GE(snap.events[i].start_ns, snap.events[i - 1].start_ns);
+  }
+}
+
+TEST_F(ObsTimeline, DisabledTimelineRecordsNothing) {
+  TraceTimeline::global().set_enabled(false);
+  {
+    BALLFIT_SPAN("ghost_event");
+  }
+  EXPECT_TRUE(TraceTimeline::global().snapshot().events.empty());
+  // The aggregator still saw the span — only the timeline is opt-in.
+  EXPECT_TRUE(TraceAggregator::global().snapshot().count("ghost_event"));
+}
+
+TEST_F(ObsTimeline, ChromeTraceIsWellFormedAndMultiTrack) {
+  {
+    BALLFIT_SPAN("stage");
+    const std::string parent = current_span_path();
+    parallel_for(
+        64,
+        [&parent](std::size_t) {
+          const SpanPathScope adopt(parent);
+          BALLFIT_SPAN("work");
+        },
+        4);
+  }
+  const TraceTimeline::Snapshot snap = TraceTimeline::global().snapshot();
+  const std::string json = to_chrome_trace(snap);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // One thread_name metadata event per distinct tid, and the worker spans
+  // land on more than one track (parallel_for spawned real threads).
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : snap.events) tids.insert(e.tid);
+  EXPECT_GE(tids.size(), 2u);
+  // Event names are the leaf span name; the full path rides in args.
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"stage/work\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/ballfit_trace_test.json";
+  std::remove(path.c_str());
+  write_chrome_trace(path, snap);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(JsonValidator(buf.str()).valid());
+  std::remove(path.c_str());
+}
+
+// --- Snapshot diffing (the obs_diff library) -------------------------------
+
+TEST(ObsDiff, FlattenWalksNumbersBoolsAndArrays) {
+  const auto flat = flatten_json_numbers(
+      R"({"a":{"b":1.5,"c":[2,4],"skip":"text","gone":null,"on":true}})");
+  const std::map<std::string, double> expected{{"a.b", 1.5},
+                                               {"a.c.0", 2.0},
+                                               {"a.c.1", 4.0},
+                                               {"a.on", 1.0}};
+  EXPECT_EQ(flat, expected);
+  EXPECT_ANY_THROW(flatten_json_numbers("{\"a\":"));
+  EXPECT_ANY_THROW(flatten_json_numbers("{} trailing"));
+}
+
+TEST(ObsDiff, DiffFindsChangesAndOneSidedKeys) {
+  const std::map<std::string, double> before{
+      {"same", 1.0}, {"changed", 10.0}, {"gone", 3.0}};
+  const std::map<std::string, double> after{
+      {"same", 1.0}, {"changed", 12.0}, {"fresh", 7.0}};
+  const std::vector<DiffRow> rows = diff_snapshots(before, after);
+  ASSERT_EQ(rows.size(), 3u);  // "same" hidden by default
+  EXPECT_EQ(rows[0].key, "changed");
+  EXPECT_DOUBLE_EQ(rows[0].delta(), 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].rel(), 2.0 / 12.0);
+  EXPECT_EQ(rows[1].key, "fresh");
+  EXPECT_TRUE(rows[1].only_after);
+  EXPECT_EQ(rows[2].key, "gone");
+  EXPECT_TRUE(rows[2].only_before);
+
+  DiffOptions opts;
+  opts.include_unchanged = true;
+  EXPECT_EQ(diff_snapshots(before, after, opts).size(), 4u);
+  opts.include_unchanged = false;
+  opts.key_filter = "chan";
+  EXPECT_EQ(diff_snapshots(before, after, opts).size(), 1u);
+  opts.key_filter = "";
+  opts.min_rel = 0.5;  // hides "changed" (16.7%), keeps one-sided rows
+  EXPECT_EQ(diff_snapshots(before, after, opts).size(), 2u);
+}
+
+TEST(ObsDiff, RenderMatchesGoldenTable) {
+  const std::vector<DiffRow> rows = diff_snapshots(
+      {{"runs.0.nodes", 100.0}, {"runs.0.old_metric", 1.0}},
+      {{"runs.0.nodes", 150.0}, {"runs.0.new_metric", 2.0}});
+  const std::string golden =
+      "           metric    before     after    delta       rel\n"
+      "-----------------  --------  --------  -------  --------\n"
+      "runs.0.new_metric         -    2.0000        -  new/gone\n"
+      "     runs.0.nodes  100.0000  150.0000  50.0000     33.3%\n"
+      "runs.0.old_metric    1.0000         -        -  new/gone\n";
+  EXPECT_EQ(render_diff(rows), golden);
+  EXPECT_TRUE(render_diff({}).empty());
+}
+
+TEST(ObsDiff, LoadSnapshotUsesLastJsonlLine) {
+  const std::string path = ::testing::TempDir() + "/ballfit_diff_test.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"v\":1}\n{\"v\":2}\n{\"v\":3}\n";
+  }
+  const auto flat = load_snapshot(path);
+  ASSERT_TRUE(flat.count("v"));
+  EXPECT_DOUBLE_EQ(flat.at("v"), 3.0);
+  std::remove(path.c_str());
 }
 
 // --- JSON writer + export --------------------------------------------------

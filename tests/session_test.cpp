@@ -12,6 +12,8 @@
 #include "core/session.hpp"
 #include "model/shapes.hpp"
 #include "net/builder.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace ballfit::core {
 namespace {
@@ -275,6 +277,105 @@ TEST(SessionDelta, FaultConfigRejectedOnMaskedSession) {
   PipelineConfig cfg;
   cfg.faults.emplace();
   EXPECT_THROW((void)session.run(cfg), InvalidArgument);
+}
+
+// --- Observability: stage counters and quality artifacts -------------------
+
+/// Enables obs collection for one test; the registry is process-global.
+class SessionObs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::reset();
+    obs::set_enabled(false);
+  }
+};
+
+TEST_F(SessionObs, StageCountersMirrorStatsInRegistry) {
+  const net::Network net = sphere_network(31, 120, 180);
+  DetectionSession session(net);
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.05;
+  (void)session.run(cfg);
+  (void)session.run(cfg);  // identical config: every stage cache-hits
+
+  const auto counters = obs::snapshot().metrics.counters;
+  const SessionStats& stats = session.stats();
+  const auto expect_counter = [&](const std::string& name,
+                                  std::uint64_t want) {
+    ASSERT_TRUE(counters.count(name)) << "missing counter " << name;
+    EXPECT_EQ(counters.at(name), want) << name;
+  };
+  expect_counter("session.measure.full_runs", stats.measure.full_runs);
+  expect_counter("session.measure.cache_hits", stats.measure.cache_hits);
+  expect_counter("session.localize.full_runs", stats.localize.full_runs);
+  expect_counter("session.localize.cache_hits", stats.localize.cache_hits);
+  expect_counter("session.ubf.full_runs", stats.ubf.full_runs);
+  expect_counter("session.ubf.cache_hits", stats.ubf.cache_hits);
+  expect_counter("session.iff.full_runs", stats.iff.full_runs);
+  expect_counter("session.iff.cache_hits", stats.iff.cache_hits);
+  expect_counter("session.group.full_runs", stats.group.full_runs);
+  expect_counter("session.group.cache_hits", stats.group.cache_hits);
+  EXPECT_EQ(stats.measure.full_runs, 1u);
+  EXPECT_EQ(stats.measure.cache_hits, 1u);
+  EXPECT_EQ(stats.ubf.full_runs, 1u);
+  EXPECT_EQ(stats.ubf.cache_hits, 1u);
+}
+
+TEST_F(SessionObs, QualityArtifactsConsistentAndCacheStable) {
+  const net::Network net = sphere_network(32, 120, 180);
+  DetectionSession session(net);
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.05;
+  const PipelineResult r1 = session.run(cfg);
+
+  ASSERT_EQ(r1.ubf_confidence.size(), net.num_nodes());
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_EQ(r1.ubf_candidates[v], r1.ubf_confidence[v] >= 0.5f)
+        << "node " << v;
+  }
+  ASSERT_EQ(r1.group_quality.size(), r1.groups.count());
+  for (std::size_t g = 0; g < r1.group_quality.size(); ++g) {
+    const BoundaryQuality& q = r1.group_quality[g];
+    EXPECT_EQ(q.leader, r1.groups.groups[g].front());
+    EXPECT_EQ(q.size, r1.groups.groups[g].size());
+    EXPECT_GT(q.score, 0.0);
+    EXPECT_LT(q.score, 1.0);
+    EXPECT_GT(q.mean_confidence, 0.0);  // members passed the 0.5 gate
+  }
+
+  // A cache-hit run re-publishes the same telemetry.
+  const PipelineResult r2 = session.run(cfg);
+  EXPECT_EQ(r1.ubf_confidence, r2.ubf_confidence);
+  ASSERT_EQ(r2.group_quality.size(), r1.group_quality.size());
+  for (std::size_t g = 0; g < r1.group_quality.size(); ++g) {
+    EXPECT_DOUBLE_EQ(r1.group_quality[g].score, r2.group_quality[g].score);
+  }
+
+  // The confidence histogram saw every scored (non-crashed) node.
+  bool found = false;
+  for (const auto& h : obs::snapshot().metrics.histograms) {
+    if (h.name != "ubf.confidence") continue;
+    found = true;
+    EXPECT_EQ(h.count, net.num_nodes());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SessionObs, FaultRunsCounted) {
+  const net::Network net = sphere_network(33, 80, 100);
+  DetectionSession session(net);
+  PipelineConfig cfg;
+  cfg.faults.emplace();  // all-zero fault model: uncacheable legacy path
+  (void)session.run(cfg);
+  (void)session.run(cfg);
+  EXPECT_EQ(session.stats().fault_runs, 2u);
+  const auto counters = obs::snapshot().metrics.counters;
+  ASSERT_TRUE(counters.count("session.fault_runs"));
+  EXPECT_EQ(counters.at("session.fault_runs"), 2u);
 }
 
 }  // namespace

@@ -225,5 +225,61 @@ TEST(UbfConfigChecks, BadRadiusRejected) {
   EXPECT_THROW(UnitBallFitting(net, cfg), InvalidArgument);
 }
 
+// --- Boundary confidence (vote_confidence and the scored detectors) --------
+
+TEST(UbfConfidence, VoteConfidenceFormula) {
+  EXPECT_DOUBLE_EQ(vote_confidence(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(vote_confidence(3, 3), 0.5);  // exactly at threshold
+  EXPECT_DOUBLE_EQ(vote_confidence(6, 3), 6.0 / 9.0);
+  // Degenerate threshold 0: boundary iff any vote at all.
+  EXPECT_DOUBLE_EQ(vote_confidence(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(vote_confidence(5, 0), 1.0);
+  // Monotone in votes, never reaching 1.
+  for (std::size_t v = 1; v < 12; ++v) {
+    EXPECT_GT(vote_confidence(v, 4), vote_confidence(v - 1, 4));
+    EXPECT_LT(vote_confidence(v, 4), 1.0);
+  }
+}
+
+TEST(UbfConfidence, ScoreThresholdsExactlyAtFlag) {
+  const net::Network net = grid_cube(6);
+  for (const std::size_t T : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    UbfConfig cfg;
+    cfg.min_empty_balls = T;
+    const UnitBallFitting ubf(net, cfg);
+    // Flags must be bit-identical with and without the margin request.
+    const std::vector<bool> plain = ubf.detect_with_true_coordinates();
+    std::vector<float> conf;
+    const std::vector<bool> scored =
+        ubf.detect_with_true_coordinates(nullptr, nullptr, &conf);
+    ASSERT_EQ(conf.size(), net.num_nodes());
+    EXPECT_EQ(plain, scored) << "T=" << T;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      EXPECT_EQ(scored[v], conf[v] >= 0.5f) << "node " << v << " T=" << T;
+      EXPECT_GE(conf[v], 0.0f);
+      EXPECT_LT(conf[v], 1.0f);
+    }
+  }
+}
+
+TEST(UbfConfidence, MonotoneInMinEmptyBalls) {
+  const net::Network net = grid_cube(6);
+  std::vector<float> prev;
+  for (const std::size_t T : {1, 2, 3, 5, 8, 12}) {
+    UbfConfig cfg;
+    cfg.min_empty_balls = T;
+    const UnitBallFitting ubf(net, cfg);
+    std::vector<float> conf;
+    (void)ubf.detect_with_true_coordinates(nullptr, nullptr, &conf);
+    ASSERT_EQ(conf.size(), net.num_nodes());
+    if (!prev.empty()) {
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        EXPECT_LE(conf[v], prev[v]) << "node " << v << " at T=" << T;
+      }
+    }
+    prev = std::move(conf);
+  }
+}
+
 }  // namespace
 }  // namespace ballfit::core
