@@ -9,12 +9,16 @@
 /// of every stage so benches and tests can inspect intermediates.
 ///
 /// The pipeline can run under fault injection (`PipelineConfig::faults`):
-/// crashed nodes drop out of localization and detection entirely, the IFF
-/// and grouping floods lose/duplicate messages per the model, and nodes
-/// whose local frame cannot be built (too few surviving neighbors) fall
-/// back to a conservative non-boundary vote instead of the optimistic
+/// crashed nodes drop out of localization and detection entirely (they are
+/// masked out of the alive set, keeping their original ids), the IFF and
+/// grouping floods lose/duplicate messages per the model, and nodes whose
+/// local frame cannot be built (too few surviving neighbors) fall back to
+/// a conservative non-boundary vote instead of the optimistic
 /// degenerate-is-boundary default. The run degrades — precision/recall
-/// shrink with loss and crash rates — but never throws or hangs.
+/// shrink with loss and crash rates — but never throws or hangs. Faulted
+/// runs execute through the same cached `core::DetectionSession` stage
+/// graph as reliable ones and compose with incremental deltas; see
+/// session.hpp.
 
 #include <cstdint>
 #include <optional>
@@ -53,12 +57,16 @@ struct PipelineConfig {
   /// scratch arenas in the UBF kernel carry no state between nodes.
   unsigned threads = 0;
   /// Fault injection for the communication stages (default nullopt =
-  /// reliable network, the paper's assumption). One `sim::FaultModel` is
-  /// built from this config and shared by IFF and grouping, so crash
-  /// rounds are global across both floods and the loss/duplication RNG
-  /// streams advance monotonically — see the FaultModel determinism
-  /// contract in sim/faults.hpp. With an all-zero config installed the
-  /// outputs are bit-identical to the reliable run.
+  /// reliable network, the paper's assumption). The crash mechanisms fold
+  /// into the session alive-mask before the stages run; the
+  /// loss/duplication channel is applied by a per-stage fault model whose
+  /// seed derives deterministically from `seed`, so each flood artifact is
+  /// a pure function of (inputs, channel config) — cacheable, and
+  /// reproducible from the config alone. Scheduled (`crash_at_round`) and
+  /// per-round crashes fire when `DetectionSession::advance_faults` moves
+  /// the crash clock between runs, not during a run's own floods. With an
+  /// all-zero config installed the outputs are bit-identical to the
+  /// reliable run.
   std::optional<sim::FaultConfig> faults;
   /// Retransmissions per newly learned fact in the floods (count, >= 1,
   /// default 1); raise to 2–3 to keep floods converging at 10–20% loss.
@@ -73,9 +81,8 @@ struct PipelineResult {
 
   /// Quality telemetry (additive — never feeds back into the flags above).
   /// Populated only when `obs::enabled()` at run time; empty otherwise, so
-  /// the disabled pipeline does none of the extra vote counting. The
-  /// fault-injected path never produces them (its legacy kernel predates
-  /// the scores and is preserved verbatim).
+  /// the disabled pipeline does none of the extra vote counting. Faulted
+  /// runs produce them too (they share the cached stage kernels).
   std::vector<float> ubf_confidence;          ///< per node, see vote_confidence
   std::vector<BoundaryQuality> group_quality; ///< parallel to groups.groups
 

@@ -83,131 +83,32 @@ void note_stage(const char* stage, const char* kind) {
       .add(1);
 }
 
-/// Phase-1 detection on an arbitrary network (the full one, or the
-/// surviving subnetwork under crashes). Returns the per-node flags and
-/// counts frame fallbacks. Fault-path only — cached runs go through the
-/// stage units below.
-std::vector<bool> run_ubf(const net::Network& network,
-                          const PipelineConfig& config,
-                          const UbfConfig& ubf_config, unsigned threads,
-                          std::size_t* frame_fallbacks) {
-  const UnitBallFitting ubf(network, ubf_config);
-  if (config.use_true_coordinates) {
-    BALLFIT_SPAN("ubf");
-    return ubf.detect_with_true_coordinates(frame_fallbacks);
-  }
-  std::optional<net::NoisyDistanceModel> model;
-  std::optional<localization::Localizer> localizer;
-  {
-    BALLFIT_SPAN("measurement");
-    model.emplace(network, config.measurement_error, config.noise_seed);
-    localizer.emplace(network, *model);
-  }
-  BALLFIT_SPAN("ubf");
-  return ubf.detect(*localizer, threads, frame_fallbacks);
+// Per-stage RNG stream tags: each flood stage gets its own fresh
+// channel-only fault model, so every protocol artifact is a pure function
+// of (inputs, knobs, channel fingerprint) — never of how many stages ran
+// before it. The tags keep the two streams decorrelated under one seed.
+constexpr std::uint64_t kIffStreamTag = 0x1ff00d5ull;
+constexpr std::uint64_t kGroupStreamTag = 0x6e0097ull;
+
+/// The loss/duplication channel of `config`, with every crash mechanism
+/// stripped (crashes act through the session alive-mask instead) and the
+/// seed re-keyed for one stage's stream.
+sim::FaultConfig channel_config(const sim::FaultConfig& config,
+                                std::uint64_t stage_tag) {
+  sim::FaultConfig channel;
+  channel.drop_probability = config.drop_probability;
+  channel.link_loss_max = config.link_loss_max;
+  channel.duplicate_probability = config.duplicate_probability;
+  std::uint64_t s = config.seed ^ stage_tag;
+  channel.seed = splitmix64(s);
+  return channel;
 }
 
-/// The legacy fault-injected pipeline, preserved verbatim: one fault model
-/// spans every communication stage, crashed nodes drop out via a survivor
-/// subnetwork, and nothing is cached — the fault RNG streams are
-/// call-order dependent, so these runs are not pure functions of the
-/// config. Bit-identical to the pre-session `detect_boundaries`.
-PipelineResult run_pipeline_with_faults(const net::Network& network,
-                                        const PipelineConfig& config,
-                                        unsigned threads) {
-  PipelineResult result;
-  const std::size_t n = network.num_nodes();
-
-  // One fault model spans every communication stage of this run, so its
-  // crash clock and loss streams are continuous across IFF and grouping.
-  sim::FaultModel fault_model(*config.faults, n);
-  sim::ProtocolOptions proto;
-  proto.faults = &fault_model;
-  proto.repeat = config.flood_repeat;
-
-  // Nodes know their ranging error specification; the UBF emptiness slack
-  // scales with it unless the caller already set a hint explicitly.
-  UbfConfig ubf_config = config.ubf;
-  if (ubf_config.measurement_error_hint == 0.0 &&
-      !config.use_true_coordinates) {
-    ubf_config.measurement_error_hint = config.measurement_error;
-  }
-  // Under faults a frame that cannot be built votes non-boundary: the
-  // optimistic default would promote every crash-starved neighborhood to
-  // "boundary" and flood the result with false positives. An inert fault
-  // config keeps the reliable semantics — the hook alone must not change
-  // any output bit.
-  if (config.faults->any()) {
-    ubf_config.degenerate_is_boundary = false;
-  }
-
-  // --- Phase 1: Unit Ball Fitting on per-node local frames.
-  if (fault_model.num_down() > 0) {
-    // Crashed nodes contribute no measurements and run no test: Phase 1
-    // operates on the subnetwork induced by the survivors. Neighborhoods
-    // shrink accordingly — nodes starved below the embeddable minimum are
-    // the frame_fallbacks counted here.
-    std::vector<net::NodeId> alive;
-    alive.reserve(n);
-    for (net::NodeId v = 0; v < n; ++v) {
-      if (!fault_model.is_down(v)) alive.push_back(v);
-    }
-    result.ubf_candidates.assign(n, false);
-    if (!alive.empty()) {
-      std::vector<geom::Vec3> positions;
-      std::vector<bool> truth;
-      positions.reserve(alive.size());
-      truth.reserve(alive.size());
-      for (net::NodeId v : alive) {
-        positions.push_back(network.position(v));
-        truth.push_back(network.is_ground_truth_boundary(v));
-      }
-      net::Network survivors(std::move(positions), std::move(truth),
-                             network.radio_range());
-      const std::vector<bool> sub_flags =
-          run_ubf(survivors, config, ubf_config, threads,
-                  &result.frame_fallbacks);
-      for (std::size_t i = 0; i < alive.size(); ++i) {
-        result.ubf_candidates[alive[i]] = sub_flags[i];
-      }
-    }
-  } else {
-    result.ubf_candidates =
-        run_ubf(network, config, ubf_config, threads,
-                &result.frame_fallbacks);
-  }
-
-  // --- Phase 2: Isolated Fragment Filtering.
-  {
-    BALLFIT_SPAN("iff");
-    result.boundary = iff_filter(network, result.ubf_candidates, config.iff,
-                                 &result.iff_cost, proto);
-  }
-
-  // --- Grouping.
-  if (config.group) {
-    BALLFIT_SPAN("grouping");
-    result.groups =
-        group_boundaries(network, result.boundary,
-                         config.iff.use_message_passing,
-                         &result.grouping_cost, proto);
-  }
-
-  result.crashed_nodes = fault_model.num_down();
-  result.fault_stats = fault_model.stats();
-
-  if (obs::enabled()) {
-    obs::Registry& reg = obs::Registry::global();
-    reg.counter("pipeline.runs").add(1);
-    reg.counter("pipeline.nodes").add(network.num_nodes());
-    reg.counter("pipeline.ubf_candidates").add(result.num_candidates());
-    reg.counter("pipeline.boundary_nodes").add(result.num_boundary());
-    reg.counter("pipeline.frame_fallbacks").add(result.frame_fallbacks);
-    reg.counter("pipeline.crashed_nodes").add(result.crashed_nodes);
-    reg.counter("pipeline.dropped").add(result.fault_stats.dropped);
-    reg.counter("pipeline.duplicated").add(result.fault_stats.duplicated);
-  }
-  return result;
+/// Requires a duplicate-free id list (the delta validation contract).
+void require_unique(std::vector<net::NodeId> ids, const char* what) {
+  std::sort(ids.begin(), ids.end());
+  BALLFIT_REQUIRE(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                  std::string("NetworkDelta: duplicate node id in ") + what);
 }
 
 }  // namespace
@@ -216,49 +117,192 @@ DetectionSession::DetectionSession(const net::Network& network)
     : network_(&network),
       alive_(network.num_nodes(), 1),
       num_alive_(network.num_nodes()),
+      fault_dead_(network.num_nodes(), 0),
       frames_dirty_(network.num_nodes(), 0),
       ubf_dirty_(network.num_nodes(), 0) {}
 
+DetectionSession::DetectionSession(net::Network& network)
+    : DetectionSession(static_cast<const net::Network&>(network)) {
+  mutable_network_ = &network;
+}
+
 void DetectionSession::apply(const NetworkDelta& delta) {
   const std::size_t n = network_->num_nodes();
-  std::vector<net::NodeId> changed;
-  std::uint64_t crashed = 0;
-  std::uint64_t revived = 0;
+
+  // --- Validate the whole delta before mutating anything, so a rejected
+  // delta leaves the session (and the network) untouched.
   for (const net::NodeId v : delta.crashed) {
-    BALLFIT_REQUIRE(v < n, "crashed node id out of range");
-    if (alive_[v] != 0) {
-      alive_[v] = 0;
-      --num_alive_;
-      ++crashed;
-      changed.push_back(v);
-    }
+    BALLFIT_REQUIRE(v < n, "NetworkDelta: crashed node id out of range");
+    BALLFIT_REQUIRE(alive_[v] != 0,
+                    "NetworkDelta: node " + std::to_string(v) +
+                        " is already dead — cannot crash it again");
   }
   for (const net::NodeId v : delta.revived) {
-    BALLFIT_REQUIRE(v < n, "revived node id out of range");
-    if (alive_[v] == 0) {
-      alive_[v] = 1;
-      ++num_alive_;
-      ++revived;
-      changed.push_back(v);
-    }
+    BALLFIT_REQUIRE(v < n, "NetworkDelta: revived node id out of range");
+    BALLFIT_REQUIRE(alive_[v] == 0,
+                    "NetworkDelta: node " + std::to_string(v) +
+                        " is alive — cannot revive it");
   }
-  if (changed.empty()) return;
-  ++alive_epoch_;
-  masked_ = num_alive_ < n;
+  require_unique(delta.crashed, "crashed");
+  require_unique(delta.revived, "revived");
+  {
+    std::vector<net::NodeId> moved_ids;
+    moved_ids.reserve(delta.moved.size());
+    for (const net::NodeMove& m : delta.moved) {
+      BALLFIT_REQUIRE(m.node < n, "NetworkDelta: moved node id out of range");
+      moved_ids.push_back(m.node);
+    }
+    require_unique(std::move(moved_ids), "moved");
+  }
+  BALLFIT_REQUIRE(delta.moved.empty() || mutable_network_ != nullptr,
+                  "NetworkDelta contains moves but the session observes a "
+                  "const network — construct the session with a mutable "
+                  "net::Network to enable node motion");
+  if (delta.empty()) return;
 
   // A frame's membership is a subset of its owner's two-hop neighborhood,
   // so only frames within two hops of a changed node can change; a node's
   // UBF flag additionally reads its one-hop witnesses' frames, adding one
   // hop. The reach is computed on the full adjacency (conservative
-  // superset of any masked reach).
-  if (frames_valid_) net::mark_k_hop(*network_, changed, 2, frames_dirty_);
-  if (ubf_valid_) net::mark_k_hop(*network_, changed, 3, ubf_dirty_);
+  // superset of any masked reach). A move changes which nodes are within
+  // reach at all, so its dirty set is marked on BOTH the pre-move and the
+  // post-move adjacency: every changed frame input involves the moved node
+  // under one of the two.
+  std::vector<net::NodeId> seeds;
+  seeds.reserve(delta.crashed.size() + delta.revived.size() +
+                delta.moved.size());
+  if (!delta.moved.empty()) {
+    for (const net::NodeMove& m : delta.moved) seeds.push_back(m.node);
+    if (frames_valid_) net::mark_k_hop(*network_, seeds, 2, frames_dirty_);
+    if (ubf_valid_) net::mark_k_hop(*network_, seeds, 3, ubf_dirty_);
+    mutable_network_->apply_moves(delta.moved);
+    ++topology_version_;
+    measure_stale_ = true;
+  }
+  seeds.insert(seeds.end(), delta.crashed.begin(), delta.crashed.end());
+  seeds.insert(seeds.end(), delta.revived.begin(), delta.revived.end());
+  if (frames_valid_) net::mark_k_hop(*network_, seeds, 2, frames_dirty_);
+  if (ubf_valid_) net::mark_k_hop(*network_, seeds, 3, ubf_dirty_);
+
+  for (const net::NodeId v : delta.crashed) {
+    alive_[v] = 0;
+    --num_alive_;
+  }
+  for (const net::NodeId v : delta.revived) {
+    alive_[v] = 1;
+    ++num_alive_;
+    // A user revive of a fault casualty clears the attribution: the node
+    // stays up until the fault clock advances or the model is re-synced.
+    fault_dead_[v] = 0;
+  }
+  ++alive_epoch_;
+  masked_ = num_alive_ < n;
 
   if (obs::enabled()) {
     obs::Registry& reg = obs::Registry::global();
-    reg.counter("session.delta.crashed").add(crashed);
-    reg.counter("session.delta.revived").add(revived);
+    reg.counter("session.delta.crashed").add(delta.crashed.size());
+    reg.counter("session.delta.revived").add(delta.revived.size());
+    reg.counter("session.delta.moved").add(delta.moved.size());
   }
+}
+
+void DetectionSession::apply_alive_diff(
+    const std::vector<net::NodeId>& crashed,
+    const std::vector<net::NodeId>& revived) {
+  if (crashed.empty() && revived.empty()) return;
+  std::vector<net::NodeId> seeds;
+  seeds.reserve(crashed.size() + revived.size());
+  seeds.insert(seeds.end(), crashed.begin(), crashed.end());
+  seeds.insert(seeds.end(), revived.begin(), revived.end());
+  if (frames_valid_) net::mark_k_hop(*network_, seeds, 2, frames_dirty_);
+  if (ubf_valid_) net::mark_k_hop(*network_, seeds, 3, ubf_dirty_);
+  for (const net::NodeId v : crashed) {
+    alive_[v] = 0;
+    --num_alive_;
+  }
+  for (const net::NodeId v : revived) {
+    alive_[v] = 1;
+    ++num_alive_;
+  }
+  ++alive_epoch_;
+  masked_ = num_alive_ < network_->num_nodes();
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("session.delta.crashed").add(crashed.size());
+    reg.counter("session.delta.revived").add(revived.size());
+  }
+}
+
+void DetectionSession::ensure_fault_model(const sim::FaultConfig& config) {
+  Fingerprint fp;
+  fp.f64(config.drop_probability);
+  fp.f64(config.link_loss_max);
+  fp.f64(config.duplicate_probability);
+  fp.f64(config.crash_fraction);
+  fp.f64(config.crash_probability);
+  // Schedule identity is order-stable: the model applies every entry whose
+  // round arrives regardless of list order, so permuted/duplicated entries
+  // describe the same fault stream and must fingerprint identically.
+  auto schedule = config.crash_at_round;
+  std::sort(schedule.begin(), schedule.end());
+  schedule.erase(std::unique(schedule.begin(), schedule.end()),
+                 schedule.end());
+  fp.u64(schedule.size());
+  for (const auto& [v, r] : schedule) {
+    fp.u64(v);
+    fp.u64(r);
+  }
+  fp.u64(config.seed);
+  fp.u64(network_->num_nodes());
+  if (fault_model_.has_value() && fault_cfg_fp_ == fp.value()) return;
+
+  // New fault stream: fresh model (crash clock restarts at round 0).
+  fault_model_.emplace(config, network_->num_nodes());
+  fault_cfg_fp_ = fp.value();
+  Fingerprint channel;
+  channel.u64(config.seed);
+  channel.f64(config.drop_probability);
+  channel.f64(config.link_loss_max);
+  channel.f64(config.duplicate_probability);
+  fault_channel_fp_ = channel.value();
+}
+
+void DetectionSession::release_fault_model() {
+  if (!fault_model_.has_value()) return;
+  // Fault casualties do not outlive their model: a reliable run sees the
+  // network the user deltas alone describe.
+  std::vector<net::NodeId> revived;
+  for (net::NodeId v = 0; v < fault_dead_.size(); ++v) {
+    if (fault_dead_[v] != 0) {
+      revived.push_back(v);
+      fault_dead_[v] = 0;
+    }
+  }
+  fault_model_.reset();
+  fault_cfg_fp_ = 0;
+  fault_channel_fp_ = 0;
+  apply_alive_diff({}, revived);
+}
+
+NetworkDelta DetectionSession::sync_fault_state() {
+  NetworkDelta delta = delta_from_fault_state(*this, *fault_model_);
+  // The model only speaks for its own casualties: a node the user crashed
+  // is "up" as far as the model knows, but must stay down here.
+  std::erase_if(delta.revived, [&](net::NodeId v) {
+    return fault_dead_[v] == 0;
+  });
+  for (const net::NodeId v : delta.crashed) fault_dead_[v] = 1;
+  for (const net::NodeId v : delta.revived) fault_dead_[v] = 0;
+  apply_alive_diff(delta.crashed, delta.revived);
+  return delta;
+}
+
+NetworkDelta DetectionSession::advance_faults(std::size_t rounds) {
+  BALLFIT_REQUIRE(fault_model_.has_value(),
+                  "advance_faults: no fault model installed — run with an "
+                  "active fault config first (a reliable run uninstalls it)");
+  for (std::size_t i = 0; i < rounds; ++i) fault_model_->advance_round();
+  return sync_fault_state();
 }
 
 void DetectionSession::run_ubf_stages(const PipelineConfig& config,
@@ -316,15 +360,28 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
     Fingerprint fp;
     fp.f64(config.measurement_error);
     fp.u64(config.noise_seed);
-    if (measure_valid_ && measure_fp_ == fp.value()) {
+    if (measure_valid_ && measure_fp_ == fp.value() && !measure_stale_) {
       ++stats_.measure.cache_hits;
       note_stage("measure", "cache_hits");
+    } else if (measure_valid_ && measure_fp_ == fp.value()) {
+      // Same noise law, moved geometry: re-materialize the per-edge cache
+      // against the rebuilt CSR adjacency. The noise draw is keyed on
+      // (seed, node-id pair), so every unmoved pair measures bit-identical
+      // — measure_version_ stays put and frames outside the move's dirty
+      // set remain valid.
+      BALLFIT_SPAN("measurement");
+      model_.emplace(*network_, config.measurement_error, config.noise_seed);
+      localizer_.emplace(*network_, *model_);
+      measure_stale_ = false;
+      ++stats_.measure.partial_runs;
+      note_stage("measure", "partial_runs");
     } else {
       BALLFIT_SPAN("measurement");
       model_.emplace(*network_, config.measurement_error, config.noise_seed);
       localizer_.emplace(*network_, *model_);
       measure_fp_ = fp.value();
       measure_valid_ = true;
+      measure_stale_ = false;
       ++measure_version_;  // downstream keys reference the new artifact
       ++stats_.measure.full_runs;
       note_stage("measure", "full_runs");
@@ -458,29 +515,48 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
 }
 
 void DetectionSession::run_filter_stages(const PipelineConfig& config,
+                                         bool faulted,
                                          PipelineResult& result) {
-  const sim::ProtocolOptions proto{};  // reliable network on cached paths
-
   // --- IFF: whole-network flood over the candidate set (cheap relative
-  // to localization; no partial variant). Keyed on the candidate flags +
-  // the IFF knobs.
+  // to localization; no partial variant). Keyed on the candidate flags,
+  // the IFF knobs, the adjacency version (a move changes flood paths even
+  // when the flags do not), and — under faults — the channel fingerprint
+  // plus the retransmission count. A faulted execution runs under a fresh
+  // stage-local fault model, so the artifact is a pure function of that
+  // key regardless of what ran before it.
   {
     Fingerprint fp;
     fp.flags(ubf_candidates_);
     fp.u64(config.iff.theta);
     fp.u64(config.iff.ttl);
     fp.boolean(config.iff.use_message_passing);
+    fp.u64(topology_version_);
+    fp.boolean(faulted);
+    if (faulted) {
+      fp.u64(fault_channel_fp_);
+      fp.u64(config.flood_repeat);
+    }
     if (iff_valid_ && iff_fp_ == fp.value()) {
       ++stats_.iff.cache_hits;
       note_stage("iff", "cache_hits");
     } else {
       BALLFIT_SPAN("iff");
+      sim::ProtocolOptions proto{};
+      std::optional<sim::FaultModel> stage_faults;
+      if (faulted) {
+        stage_faults.emplace(channel_config(*config.faults, kIffStreamTag),
+                             network_->num_nodes());
+        proto.faults = &*stage_faults;
+        proto.repeat = config.flood_repeat;
+      }
       iff_cost_ = {};
       std::vector<std::uint32_t>* counts_out =
           obs::enabled() ? &iff_counts_ : nullptr;
       if (counts_out == nullptr) iff_counts_.clear();
       boundary_ = iff_filter(*network_, ubf_candidates_, config.iff,
                              &iff_cost_, proto, counts_out);
+      iff_fault_stats_ = stage_faults ? stage_faults->stats()
+                                      : sim::FaultStats{};
       iff_fp_ = fp.value();
       iff_valid_ = true;
       ++stats_.iff.full_runs;
@@ -488,23 +564,43 @@ void DetectionSession::run_filter_stages(const PipelineConfig& config,
     }
     result.boundary = boundary_;
     result.iff_cost = iff_cost_;
+    if (faulted) {
+      result.fault_stats.dropped += iff_fault_stats_.dropped;
+      result.fault_stats.duplicated += iff_fault_stats_.duplicated;
+    }
   }
 
-  // --- Grouping (optional stage). Keyed on the boundary flags + the
-  // message-passing switch it shares with IFF.
+  // --- Grouping (optional stage). Keyed like IFF: the boundary flags, the
+  // message-passing switch, the adjacency version, and the fault channel.
   if (config.group) {
     Fingerprint fp;
     fp.flags(boundary_);
     fp.boolean(config.iff.use_message_passing);
+    fp.u64(topology_version_);
+    fp.boolean(faulted);
+    if (faulted) {
+      fp.u64(fault_channel_fp_);
+      fp.u64(config.flood_repeat);
+    }
     if (group_valid_ && group_fp_ == fp.value()) {
       ++stats_.group.cache_hits;
       note_stage("group", "cache_hits");
     } else {
       BALLFIT_SPAN("grouping");
+      sim::ProtocolOptions proto{};
+      std::optional<sim::FaultModel> stage_faults;
+      if (faulted) {
+        stage_faults.emplace(channel_config(*config.faults, kGroupStreamTag),
+                             network_->num_nodes());
+        proto.faults = &*stage_faults;
+        proto.repeat = config.flood_repeat;
+      }
       group_cost_ = {};
       groups_ = group_boundaries(*network_, boundary_,
                                  config.iff.use_message_passing,
                                  &group_cost_, proto);
+      group_fault_stats_ = stage_faults ? stage_faults->stats()
+                                        : sim::FaultStats{};
       group_fp_ = fp.value();
       group_valid_ = true;
       ++stats_.group.full_runs;
@@ -512,6 +608,10 @@ void DetectionSession::run_filter_stages(const PipelineConfig& config,
     }
     result.groups = groups_;
     result.grouping_cost = group_cost_;
+    if (faulted) {
+      result.fault_stats.dropped += group_fault_stats_.dropped;
+      result.fault_stats.duplicated += group_fault_stats_.duplicated;
+    }
 
     // Per-boundary quality: cheap pure-function scoring over the cached
     // artifacts, recomputed whenever someone is observing. Components
@@ -536,6 +636,10 @@ void DetectionSession::run_filter_stages(const PipelineConfig& config,
   fp.flags(result.boundary);
   fp.boolean(config.iff.use_message_passing);
   fp.boolean(config.group);
+  // Downstream consumers (the surface stage) read node positions, so a
+  // move must change the result identity even when the boundary set is
+  // unchanged.
+  fp.u64(topology_version_);
   result_fp_ = fp.value();
 }
 
@@ -545,13 +649,17 @@ PipelineResult DetectionSession::run(const PipelineConfig& config) {
   const unsigned threads =
       config.threads == 0 ? default_threads() : config.threads;
 
-  if (config.faults) {
-    BALLFIT_REQUIRE(!masked_,
-                    "fault injection cannot be combined with an applied "
-                    "NetworkDelta — use one crash mechanism per session");
-    ++stats_.fault_runs;
-    obs::count("session.fault_runs");
-    return run_pipeline_with_faults(*network_, config, threads);
+  // Fold the fault model's crash state into the alive mask before any
+  // stage runs: crashes act through the same masked kernels as user
+  // deltas, so faults and `apply` history compose in one engine. An inert
+  // (all-zero) config is the reliable path — the hook alone must not
+  // change any output bit.
+  const bool faulted = config.faults.has_value() && config.faults->any();
+  if (faulted) {
+    ensure_fault_model(*config.faults);
+    sync_fault_state();
+  } else {
+    release_fault_model();
   }
 
   // Nodes know their ranging error specification; the UBF emptiness slack
@@ -561,16 +669,17 @@ PipelineResult DetectionSession::run(const PipelineConfig& config) {
       !config.use_true_coordinates) {
     ubf_config.measurement_error_hint = config.measurement_error;
   }
-  // A crashed topology gets the same conservative degenerate vote as the
-  // fault path: a crash-starved neighborhood must not promote itself to
+  // A crashed or fault-injected topology gets a conservative degenerate
+  // vote: a crash-starved neighborhood must not promote itself to
   // "boundary" by starvation alone.
-  if (masked_) ubf_config.degenerate_is_boundary = false;
+  if (masked_ || faulted) ubf_config.degenerate_is_boundary = false;
 
   PipelineResult result;
   run_ubf_stages(config, ubf_config, threads, result);
-  run_filter_stages(config, result);
+  run_filter_stages(config, faulted, result);
 
   if (masked_) result.crashed_nodes = n - num_alive_;
+  if (faulted) result.fault_stats.crashed = fault_model_->num_down();
 
   if (obs::enabled()) {
     obs::Registry& reg = obs::Registry::global();
@@ -581,6 +690,10 @@ PipelineResult DetectionSession::run(const PipelineConfig& config) {
     reg.counter("pipeline.frame_fallbacks").add(result.frame_fallbacks);
     if (masked_) {
       reg.counter("pipeline.crashed_nodes").add(result.crashed_nodes);
+    }
+    if (faulted) {
+      reg.counter("pipeline.dropped").add(result.fault_stats.dropped);
+      reg.counter("pipeline.duplicated").add(result.fault_stats.duplicated);
     }
   }
   return result;

@@ -23,13 +23,24 @@
 /// cached or partially recomputed run is bit-identical to a fresh one;
 /// `detect_boundaries` is now literally one-shot `DetectionSession::run`.
 ///
-/// Incremental re-detection: `apply(NetworkDelta)` marks nodes crashed or
-/// revived. Frames are re-embedded only inside the two-hop reach of the
-/// changed nodes (a frame's membership is a subset of its owner's two-hop
-/// neighborhood), the ball test re-runs only there plus one extra witness
-/// hop, and the cheap whole-network floods (IFF, grouping) always re-run.
-/// This mirrors the paper's localized semantics: a crash is invisible
-/// beyond the neighborhoods that could hear the node.
+/// Incremental re-detection: `apply(NetworkDelta)` marks nodes crashed,
+/// revived, or moved. Frames are re-embedded only inside the two-hop reach
+/// of the changed nodes (a frame's membership is a subset of its owner's
+/// two-hop neighborhood), the ball test re-runs only there plus one extra
+/// witness hop, and the cheap whole-network floods (IFF, grouping) always
+/// re-run. This mirrors the paper's localized semantics: a crash is
+/// invisible beyond the neighborhoods that could hear the node. A move
+/// dirties both the node's old and new neighborhoods; the adjacency itself
+/// is rebuilt locally by `net::Network::apply_moves`, which requires the
+/// session to have been constructed with a mutable network.
+///
+/// Fault injection (`PipelineConfig::faults`) flows through the same
+/// cached stage graph. The fault model's crash state is folded into the
+/// session alive-mask (via `delta_from_fault_state`), so fault crashes and
+/// user deltas compose; the loss/duplication channel is applied by a fresh
+/// per-stage fault model whose seed is a pure function of the config, so
+/// the IFF/grouping artifacts stay cacheable — keyed on a deterministic
+/// fault-stream fingerprint (seed + probabilities), not on RNG call order.
 
 #include <cstdint>
 #include <optional>
@@ -41,12 +52,22 @@
 namespace ballfit::core {
 
 /// A topology change to apply between runs: nodes that crashed (fail-stop,
-/// silent) and nodes that came back. Ids keep their original network
-/// numbering — nodes do not renumber when a peer dies.
+/// silent), nodes that came back, and nodes that moved. Ids keep their
+/// original network numbering — nodes do not renumber when a peer dies.
+///
+/// `DetectionSession::apply` validates the delta strictly: ids must be in
+/// range, each list must be duplicate-free, crashed nodes must currently be
+/// alive, and revived nodes must currently be dead. Moves may target any
+/// valid node (alive or dead — a dead node's radio is silent but its
+/// position still changes) and require the session to hold a mutable
+/// network.
 struct NetworkDelta {
   std::vector<net::NodeId> crashed;
   std::vector<net::NodeId> revived;
-  bool empty() const { return crashed.empty() && revived.empty(); }
+  std::vector<net::NodeMove> moved;
+  bool empty() const {
+    return crashed.empty() && revived.empty() && moved.empty();
+  }
 };
 
 /// Per-stage cache accounting (counts since session construction).
@@ -66,24 +87,33 @@ struct SessionStats {
   std::size_t last_frames_rebuilt = 0;
   /// Nodes re-tested by the last partial UBF run (count).
   std::size_t last_nodes_retested = 0;
-  /// Runs executed under fault injection (uncacheable legacy path).
-  std::uint64_t fault_runs = 0;
 };
 
-/// A detection session bound to one immutable `net::Network`.
+/// A detection session bound to one `net::Network`.
 ///
 /// Not thread-safe: one session serves one caller at a time (the per-node
 /// stages still parallelize internally per `PipelineConfig::threads`).
 /// The network must outlive the session.
 ///
-/// Fault injection (`PipelineConfig::faults`) runs the legacy uncached
-/// path — the fault model's loss/crash RNG streams are call-order
-/// dependent, so those runs are not pure functions of the config and are
-/// never cached. Combining `faults` with a non-empty `apply` history is
-/// rejected: the two crash mechanisms would fight over the alive set.
+/// Fault injection (`PipelineConfig::faults`) runs through the same cached
+/// stage graph as reliable runs. A run with an active fault config
+/// installs a session fault model (rebuilt whenever the config changes —
+/// identified by a fingerprint over seed + probabilities + sorted crash
+/// schedule) and folds its crash state into the alive mask before the
+/// stages execute; fault casualties are attributed, so they compose with
+/// user-applied deltas: a user revive of a fault casualty sticks until the
+/// fault clock (`advance_faults`) or a re-synced model kills it again, and
+/// a reliable run revives every remaining fault casualty — results stay
+/// pure functions of (network, deltas, config).
 class DetectionSession {
  public:
+  /// Observe-only binding: `apply` deltas may crash/revive but not move
+  /// nodes (moves must rebuild adjacency, which needs a mutable network).
   explicit DetectionSession(const net::Network& network);
+  /// Mutable binding: `apply` deltas may also move nodes; the session
+  /// forwards them to `net::Network::apply_moves`. The caller must not
+  /// mutate the network behind the session's back.
+  explicit DetectionSession(net::Network& network);
 
   const net::Network& network() const { return *network_; }
 
@@ -93,10 +123,24 @@ class DetectionSession {
   /// pipeline.* counters of a fresh run for stages that execute.
   PipelineResult run(const PipelineConfig& config = {});
 
-  /// Applies a crash/revive delta and dirties the affected neighborhoods.
-  /// The next `run` re-embeds frames only within two hops of the changed
-  /// nodes and re-tests only those plus their witnesses (three hops).
+  /// Applies a crash/revive/move delta and dirties the affected
+  /// neighborhoods. The next `run` re-embeds frames only within two hops
+  /// of the changed nodes and re-tests only those plus their witnesses
+  /// (three hops); moves dirty both the old and the new neighborhood.
+  /// Throws `InvalidArgument` (before any state change) on out-of-range
+  /// ids, duplicates within a list, crashing a dead node, reviving an
+  /// alive node, or moves on a const-bound session.
   void apply(const NetworkDelta& delta);
+
+  /// Advances the installed fault model's crash clock by `rounds` rounds
+  /// (scheduled crashes fire, per-round crash probabilities roll) and
+  /// folds the new casualties into the alive mask. Returns the delta that
+  /// was folded in. Requires a fault model (i.e. a preceding `run` with an
+  /// active fault config); note a reliable run uninstalls the model.
+  NetworkDelta advance_faults(std::size_t rounds = 1);
+
+  /// True when a fault model is currently installed (last run was faulted).
+  bool has_fault_model() const { return fault_model_.has_value(); }
 
   bool is_alive(net::NodeId v) const { return alive_[v] != 0; }
   std::size_t num_alive() const { return num_alive_; }
@@ -112,16 +156,45 @@ class DetectionSession {
   void run_ubf_stages(const PipelineConfig& config,
                       const UbfConfig& ubf_config, unsigned threads,
                       PipelineResult& result);
-  void run_filter_stages(const PipelineConfig& config,
+  void run_filter_stages(const PipelineConfig& config, bool faulted,
                          PipelineResult& result);
+  /// Installs (or reuses) the session fault model for `config`; rebuilds on
+  /// a config-fingerprint change, which resets the crash clock.
+  void ensure_fault_model(const sim::FaultConfig& config);
+  /// Uninstalls the fault model and revives its remaining casualties.
+  void release_fault_model();
+  /// Folds the model's current crash state into the alive mask (fault
+  /// casualties only — user-crashed nodes are never revived by the model).
+  NetworkDelta sync_fault_state();
+  /// Updates the alive mask + dirty sets for an already-validated diff.
+  void apply_alive_diff(const std::vector<net::NodeId>& crashed,
+                        const std::vector<net::NodeId>& revived);
 
   const net::Network* network_;
+  /// Non-null iff the session was constructed with a mutable network;
+  /// required by move deltas.
+  net::Network* mutable_network_ = nullptr;
   std::vector<char> alive_;
   std::size_t num_alive_;
   /// Bumped by every effective `apply`; artifacts remember the epoch they
   /// were computed in.
   std::uint64_t alive_epoch_ = 0;
+  /// Bumped by every move-containing `apply`: adjacency identity for the
+  /// flood-stage keys (flags alone cannot see an edge change).
+  std::uint64_t topology_version_ = 0;
   bool masked_ = false;  ///< any node currently dead
+
+  // --- Session fault model (installed by faulted runs).
+  std::optional<sim::FaultModel> fault_model_;
+  /// Identity of the installed model: fingerprint over the full config
+  /// (seed, probabilities, sorted+deduplicated crash schedule, node count).
+  std::uint64_t fault_cfg_fp_ = 0;
+  /// Fault-stream fingerprint of the loss/duplication channel (seed +
+  /// channel probabilities); mixed into the IFF/Group stage keys.
+  std::uint64_t fault_channel_fp_ = 0;
+  /// Attribution: nodes dead because the fault model killed them (vs a
+  /// user delta). Only these are revived when the model state recedes.
+  std::vector<char> fault_dead_;
 
   // --- Measure artifact. `localizer_` holds a pointer to `model_`; both
   // live in optional slots so re-emplacement reuses the session object.
@@ -129,6 +202,12 @@ class DetectionSession {
   std::optional<localization::Localizer> localizer_;
   std::uint64_t measure_fp_ = 0;
   bool measure_valid_ = false;
+  /// Set by move deltas: the localizer's per-edge measurement cache mirrors
+  /// the CSR layout, so it must be re-materialized against the mutated
+  /// adjacency. The refresh keeps `measure_version_` — the noise law is
+  /// unchanged and unmoved pairs draw bit-identical measurements, so frames
+  /// outside the dirty set stay valid.
+  bool measure_stale_ = false;
   /// Distinguishes successive measure artifacts in downstream keys.
   std::uint64_t measure_version_ = 0;
 
@@ -170,12 +249,17 @@ class DetectionSession {
   /// lifecycle as ubf_confidence_ — telemetry, never a cache key.
   std::vector<std::uint32_t> iff_counts_;
   sim::RunStats iff_cost_;
+  /// Channel effects of the stage's fault model (zeros on reliable runs);
+  /// cached with the artifact so a cache hit reports what a fresh run
+  /// would.
+  sim::FaultStats iff_fault_stats_;
   std::uint64_t iff_fp_ = 0;
   bool iff_valid_ = false;
 
   // --- Group artifact.
   BoundaryGroups groups_;
   sim::RunStats group_cost_;
+  sim::FaultStats group_fault_stats_;
   std::uint64_t group_fp_ = 0;
   bool group_valid_ = false;
 
@@ -186,7 +270,14 @@ class DetectionSession {
 /// Diffs a fault model's current crash state against the session's alive
 /// set: nodes down but still alive in the session become `crashed`, nodes
 /// back up become `revived`. Bridges the sim fault schedule into the
-/// incremental re-detection path.
+/// incremental re-detection path; `DetectionSession` uses it internally to
+/// fold fault crashes into the alive mask on every faulted run.
+///
+/// Output contract: both lists are sorted ascending, duplicate-free, and
+/// never intersect (one ascending scan per node decides at most one
+/// membership). The function is idempotent — applying the returned delta
+/// and diffing again yields an empty delta, because the diff is exactly
+/// the symmetric difference of the two states.
 NetworkDelta delta_from_fault_state(const DetectionSession& session,
                                     const sim::FaultModel& faults);
 

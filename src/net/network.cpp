@@ -46,6 +46,74 @@ Network::Network(std::vector<geom::Vec3> positions,
   }
 }
 
+void Network::apply_moves(std::span<const NodeMove> moves) {
+  if (moves.empty()) return;
+  const std::size_t n = positions_.size();
+  for (const NodeMove& m : moves) {
+    BALLFIT_REQUIRE(m.node < n, "NodeMove id out of range");
+  }
+  {
+    std::vector<NodeId> ids;
+    ids.reserve(moves.size());
+    for (const NodeMove& m : moves) ids.push_back(m.node);
+    std::sort(ids.begin(), ids.end());
+    BALLFIT_REQUIRE(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                    "duplicate node id in NodeMove batch");
+  }
+
+  // A row changes only when a moved node enters or leaves it: distances
+  // between two unmoved nodes are untouched. Affected = moved ∪ their old
+  // neighbors ∪ their new neighbors; every other row is kept verbatim.
+  std::vector<char> affected(n, 0);
+  for (const NodeMove& m : moves) {
+    affected[m.node] = 1;
+    for (NodeId j : neighbors(m.node)) affected[j] = 1;
+  }
+  for (const NodeMove& m : moves) positions_[m.node] = m.new_position;
+
+  geom::SpatialGrid grid(positions_, radio_range_);
+  for (const NodeMove& m : moves) {
+    grid.for_each_in_radius(positions_[m.node], radio_range_,
+                            [&](std::uint32_t j) { affected[j] = 1; });
+  }
+
+  std::vector<std::vector<NodeId>> rebuilt(n);
+  std::size_t total = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (!affected[i]) {
+      total += degree(i);
+      continue;
+    }
+    auto& row = rebuilt[i];
+    grid.for_each_in_radius(positions_[i], radio_range_,
+                            [&](std::uint32_t j) {
+                              if (j != i) row.push_back(j);
+                            });
+    std::sort(row.begin(), row.end());
+    total += row.size();
+  }
+
+  std::vector<std::size_t> new_offsets(n + 1, 0);
+  std::vector<NodeId> new_adjacency(total);
+  std::size_t cursor = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    new_offsets[i] = cursor;
+    if (affected[i]) {
+      std::copy(rebuilt[i].begin(), rebuilt[i].end(),
+                new_adjacency.begin() + static_cast<std::ptrdiff_t>(cursor));
+      cursor += rebuilt[i].size();
+    } else {
+      const auto nb = neighbors(i);
+      std::copy(nb.begin(), nb.end(),
+                new_adjacency.begin() + static_cast<std::ptrdiff_t>(cursor));
+      cursor += nb.size();
+    }
+  }
+  new_offsets[n] = cursor;
+  offsets_ = std::move(new_offsets);
+  adjacency_ = std::move(new_adjacency);
+}
+
 bool Network::are_neighbors(NodeId i, NodeId j) const {
   const auto nb = neighbors(i);
   return std::binary_search(nb.begin(), nb.end(), j);

@@ -6,8 +6,11 @@
 ///
 /// Per Definition 1 the maximum radio transmission range is normalized to 1;
 /// builders may use another range, in which case all geometry scales with
-/// it. `Network` is immutable after construction — algorithms observe it,
-/// they never mutate it.
+/// it. `Network` is immutable to algorithms — they observe it, they never
+/// mutate it. The single sanctioned mutation is `apply_moves`, used by the
+/// churn engine to relocate nodes between detection runs; it rebuilds
+/// adjacency only around the moved nodes and leaves every other CSR row
+/// byte-identical to a from-scratch construction.
 
 #include <cstdint>
 #include <span>
@@ -19,6 +22,12 @@ namespace ballfit::net {
 
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A position update for one node, applied by `Network::apply_moves`.
+struct NodeMove {
+  NodeId node = kInvalidNode;
+  geom::Vec3 new_position{};
+};
 
 class Network {
  public:
@@ -59,6 +68,14 @@ class Network {
   double average_degree() const;
   std::size_t min_degree() const;
   std::size_t max_degree() const;
+
+  /// Relocates the given nodes and rebuilds adjacency locally: only rows of
+  /// nodes whose neighborhood can change (the moved nodes, their old
+  /// neighbors, and their new neighbors) are recomputed; the result is
+  /// identical to constructing a fresh Network from the updated positions.
+  /// Rejects out-of-range and duplicate node ids. Ground-truth labels are
+  /// untouched — they describe the original sampling, not current geometry.
+  void apply_moves(std::span<const NodeMove> moves);
 
  private:
   std::vector<geom::Vec3> positions_;

@@ -1,0 +1,219 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+
+namespace ballfit::sim {
+
+namespace {
+
+/// Draws `k` distinct elements from `pool` (consumed by swap-remove), in a
+/// deterministic order fixed by the RNG stream.
+std::vector<net::NodeId> sample_without_replacement(std::vector<net::NodeId>& pool,
+                                                    std::size_t k, Rng& rng) {
+  std::vector<net::NodeId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k && !pool.empty(); ++i) {
+    const std::size_t j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+    out.push_back(pool[j]);
+    pool[j] = pool.back();
+    pool.pop_back();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> latency_bounds_ms() {
+  return {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0};
+}
+
+}  // namespace
+
+double ChurnReport::total_ms() const {
+  double s = 0.0;
+  for (const double v : redetect_ms) s += v;
+  return s;
+}
+
+double ChurnReport::max_ms() const {
+  double m = 0.0;
+  for (const double v : redetect_ms) m = std::max(m, v);
+  return m;
+}
+
+double ChurnReport::percentile_ms(double q) const {
+  if (redetect_ms.empty()) return 0.0;
+  std::vector<double> sorted = redetect_ms;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least q of the mass below it.
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = idx == 0 ? 0 : idx - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+core::NetworkDelta coalesce_deltas(
+    std::span<const core::NetworkDelta> deltas) {
+  // Net alive transition per node: +1 per revive, -1 per crash. In a
+  // well-formed sequence the events per node alternate, so the net value is
+  // in {-1, 0, +1} — the node's final state vs its initial one.
+  std::map<net::NodeId, int> transition;
+  std::map<net::NodeId, geom::Vec3> final_pos;  // last move wins
+  for (const core::NetworkDelta& d : deltas) {
+    for (const net::NodeId v : d.crashed) transition[v] -= 1;
+    for (const net::NodeId v : d.revived) transition[v] += 1;
+    for (const net::NodeMove& m : d.moved) final_pos[m.node] = m.new_position;
+  }
+  core::NetworkDelta net;
+  for (const auto& [v, t] : transition) {
+    BALLFIT_REQUIRE(t >= -1 && t <= 1,
+                    "coalesce_deltas: delta sequence is not well-formed "
+                    "(repeated crash or revive of one node without the "
+                    "opposite event between them)");
+    if (t < 0) net.crashed.push_back(v);
+    if (t > 0) net.revived.push_back(v);
+  }
+  for (const auto& [v, p] : final_pos) net.moved.push_back({v, p});
+  return net;  // std::map iteration is ascending: sorted + unique by design
+}
+
+ChurnEngine::ChurnEngine(net::Network& network,
+                         core::DetectionSession& session, ChurnConfig config)
+    : network_(&network),
+      session_(&session),
+      config_(config),
+      rng_(config.seed) {
+  BALLFIT_REQUIRE(&session.network() == &network,
+                  "ChurnEngine: session must be bound to the same network");
+  BALLFIT_REQUIRE(config_.bursts_per_step >= 1,
+                  "ChurnEngine: bursts_per_step must be >= 1");
+  BALLFIT_REQUIRE(
+      config_.min_alive_fraction >= 0.0 && config_.min_alive_fraction <= 1.0,
+      "ChurnEngine: min_alive_fraction must be in [0, 1]");
+}
+
+core::NetworkDelta ChurnEngine::generate_burst(std::vector<char>& alive,
+                                               std::size_t& num_alive) {
+  const std::size_t n = network_->num_nodes();
+  BALLFIT_REQUIRE(alive.size() == n, "generate_burst: alive view size");
+  core::NetworkDelta delta;
+
+  // Fixed draw order (counts, then targets per kind) keeps the stream a
+  // pure function of the config and the alive view.
+  const std::size_t want_crashes = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(config_.max_crashes_per_burst)));
+  const std::size_t want_revives = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(config_.max_revives_per_burst)));
+  const std::size_t want_moves = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(config_.max_moves_per_burst)));
+
+  // Crashes respect the alive floor.
+  const std::size_t floor = static_cast<std::size_t>(
+      std::ceil(config_.min_alive_fraction * static_cast<double>(n)));
+  const std::size_t crash_budget = num_alive > floor ? num_alive - floor : 0;
+  std::vector<net::NodeId> pool;
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (alive[v]) pool.push_back(v);
+  }
+  delta.crashed = sample_without_replacement(
+      pool, std::min(want_crashes, crash_budget), rng_);
+  for (const net::NodeId v : delta.crashed) {
+    alive[v] = 0;
+    --num_alive;
+  }
+
+  pool.clear();
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (!alive[v]) pool.push_back(v);
+  }
+  delta.revived = sample_without_replacement(pool, want_revives, rng_);
+  for (const net::NodeId v : delta.revived) {
+    alive[v] = 1;
+    ++num_alive;
+  }
+
+  // Moves may target any node, dead or alive (a dead node's position still
+  // changes); displacement is a per-axis Gaussian scaled to the radio range.
+  pool.resize(n);
+  for (net::NodeId v = 0; v < n; ++v) pool[v] = v;
+  const double sigma = config_.move_sigma_fraction * network_->radio_range();
+  for (const net::NodeId v :
+       sample_without_replacement(pool, want_moves, rng_)) {
+    const geom::Vec3& p = network_->position(v);
+    delta.moved.push_back(
+        {v, {p.x + rng_.normal(0.0, sigma), p.y + rng_.normal(0.0, sigma),
+             p.z + rng_.normal(0.0, sigma)}});
+  }
+  return delta;
+}
+
+const core::PipelineResult& ChurnEngine::step(
+    const core::PipelineConfig& config) {
+  // Under active fault injection the crash clock advances first, so the
+  // step's workload includes scheduled/per-round fault casualties.
+  if (config_.fault_rounds_per_step > 0 && session_->has_fault_model()) {
+    const core::NetworkDelta fired =
+        session_->advance_faults(config_.fault_rounds_per_step);
+    report_.crashes += fired.crashed.size();
+  }
+
+  const std::size_t n = network_->num_nodes();
+  std::vector<char> alive(n, 0);
+  for (net::NodeId v = 0; v < n; ++v) alive[v] = session_->is_alive(v) ? 1 : 0;
+  std::size_t num_alive = session_->num_alive();
+
+  std::vector<core::NetworkDelta> bursts;
+  bursts.reserve(config_.bursts_per_step);
+  std::size_t raw_events = 0;
+  for (std::size_t b = 0; b < config_.bursts_per_step; ++b) {
+    bursts.push_back(generate_burst(alive, num_alive));
+    const core::NetworkDelta& d = bursts.back();
+    raw_events += d.crashed.size() + d.revived.size() + d.moved.size();
+  }
+  last_delta_ = coalesce_deltas(bursts);
+  const std::size_t net_events = last_delta_.crashed.size() +
+                                 last_delta_.revived.size() +
+                                 last_delta_.moved.size();
+  report_.coalesced_away += raw_events - net_events;
+  if (!last_delta_.empty()) session_->apply(last_delta_);
+
+  Stopwatch sw;
+  last_result_ = session_->run(config);
+  const double ms = sw.elapsed_ms();
+
+  report_.steps += 1;
+  report_.crashes += last_delta_.crashed.size();
+  report_.revives += last_delta_.revived.size();
+  report_.moves += last_delta_.moved.size();
+  report_.redetect_ms.push_back(ms);
+  std::size_t flipped = 0;
+  if (prev_boundary_.size() == last_result_.boundary.size()) {
+    for (std::size_t v = 0; v < prev_boundary_.size(); ++v) {
+      if (prev_boundary_[v] != last_result_.boundary[v]) ++flipped;
+    }
+    report_.boundary_churn += flipped;
+  }
+  prev_boundary_ = last_result_.boundary;
+
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("churn.steps").add(1);
+    reg.counter("churn.crashes").add(last_delta_.crashed.size());
+    reg.counter("churn.revives").add(last_delta_.revived.size());
+    reg.counter("churn.moves").add(last_delta_.moved.size());
+    reg.counter("churn.boundary_churn").add(flipped);
+    reg.histogram("churn.redetect_ms", latency_bounds_ms()).observe(ms);
+    reg.gauge("churn.p50_ms").set(report_.p50_ms());
+    reg.gauge("churn.p99_ms").set(report_.p99_ms());
+  }
+  return last_result_;
+}
+
+}  // namespace ballfit::sim

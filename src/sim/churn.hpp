@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file churn.hpp
+/// Deterministic churn driver for soak-testing incremental re-detection.
+///
+/// Real deployments do not fail once and stay failed: nodes crash in
+/// bursts, repaired nodes rejoin, and mobile nodes drift. `ChurnEngine`
+/// turns that into a reproducible workload against one
+/// `core::DetectionSession`: every step it generates a run of delta bursts
+/// (crash / revive / move events drawn from a seeded RNG against the
+/// session's *live* alive state), coalesces them into one net
+/// `NetworkDelta`, applies it, and times the incremental re-detection.
+///
+/// Determinism contract: the event stream is a pure function of
+/// (`ChurnConfig`, network, session state at each step). Two engines built
+/// over identically-constructed networks and sessions, stepped with the
+/// same configs, generate identical deltas — which is what lets the soak
+/// tests cross-check the incremental session against a cold one at every
+/// step, and under 1/2/8 worker threads.
+///
+/// Coalescing matters for rate: a burst of k events inside one step costs
+/// one re-detection, not k. `coalesce_deltas` computes the *net* effect of
+/// a well-formed delta sequence — a node crashed then revived within one
+/// step never reaches the session, and only the last move per node
+/// survives — so the re-detect latency the engine reports is per net
+/// topology change, the quantity the robustness evaluation sweeps.
+///
+/// Telemetry (all gated on `obs::enabled()`): counters `churn.steps`,
+/// `churn.crashes`, `churn.revives`, `churn.moves`, `churn.boundary_churn`;
+/// histogram `churn.redetect_ms`; gauges `churn.p50_ms` / `churn.p99_ms`
+/// (running percentiles over the step latencies so far).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/session.hpp"
+#include "net/network.hpp"
+
+namespace ballfit::sim {
+
+struct ChurnConfig {
+  /// Seed for every stochastic decision (event mix, targets, displacements).
+  std::uint64_t seed = 1;
+  /// Per-burst event caps; each burst draws uniformly in [0, cap] per kind
+  /// (independent draws, so bursts mix crash/revive/move events).
+  std::size_t max_crashes_per_burst = 3;
+  std::size_t max_revives_per_burst = 3;
+  std::size_t max_moves_per_burst = 4;
+  /// Bursts generated and coalesced per step (>= 1). Raising it models a
+  /// higher event rate relative to the re-detection rate.
+  std::size_t bursts_per_step = 1;
+  /// Per-axis stddev of a move displacement, as a fraction of the radio
+  /// range. The default keeps most moves within a neighborhood so the
+  /// network stays connected over long soaks.
+  double move_sigma_fraction = 0.1;
+  /// Crash floor: no crash is generated that would drop the alive count
+  /// below this fraction of the network (revives can still raise it).
+  double min_alive_fraction = 0.5;
+  /// When > 0 and the session holds a fault model, advance its crash clock
+  /// this many rounds at the start of every step — soaking churn *under*
+  /// active fault injection.
+  std::size_t fault_rounds_per_step = 0;
+};
+
+/// Accumulated soak results. Percentiles are recomputed from the full
+/// latency record on demand.
+struct ChurnReport {
+  std::size_t steps = 0;
+  std::size_t crashes = 0;  ///< net crash events applied (incl. fault clock)
+  std::size_t revives = 0;  ///< net revive events applied
+  std::size_t moves = 0;    ///< net move events applied
+  std::size_t coalesced_away = 0;  ///< raw events cancelled by coalescing
+  /// Total boundary churn: sum over steps of |boundary_t Δ boundary_{t-1}|.
+  std::size_t boundary_churn = 0;
+  /// Wall-clock of each step's `DetectionSession::run` call, in ms.
+  std::vector<double> redetect_ms;
+
+  double total_ms() const;
+  double max_ms() const;
+  /// Latency percentile over the steps so far (q in [0, 1]; nearest-rank).
+  /// 0 when no step has run.
+  double percentile_ms(double q) const;
+  double p50_ms() const { return percentile_ms(0.50); }
+  double p99_ms() const { return percentile_ms(0.99); }
+};
+
+/// Net effect of a well-formed delta sequence (each delta valid against the
+/// state left by the previous one): a node whose alive state ends where it
+/// started contributes nothing, and only a moved node's final position
+/// survives. Output lists are sorted ascending and duplicate-free, so the
+/// result is itself a valid `DetectionSession::apply` argument.
+core::NetworkDelta coalesce_deltas(std::span<const core::NetworkDelta> deltas);
+
+class ChurnEngine {
+ public:
+  /// The engine needs the mutable network (moves rebuild adjacency) and
+  /// drives the session bound to it. Both must outlive the engine.
+  ChurnEngine(net::Network& network, core::DetectionSession& session,
+              ChurnConfig config = {});
+
+  /// Generates one burst against `alive` (the caller's working view, which
+  /// the burst mutates to stay consistent across a multi-burst step).
+  /// Exposed for tests; `step` is the normal entry point.
+  core::NetworkDelta generate_burst(std::vector<char>& alive,
+                                    std::size_t& num_alive);
+
+  /// One soak step: advance the fault clock (if configured), generate and
+  /// coalesce `bursts_per_step` bursts, apply the net delta, and time the
+  /// incremental re-detection under `config`. Returns the step's result.
+  const core::PipelineResult& step(const core::PipelineConfig& config);
+
+  /// Net delta applied by the most recent step (after coalescing).
+  const core::NetworkDelta& last_delta() const { return last_delta_; }
+  const core::PipelineResult& last_result() const { return last_result_; }
+
+  const ChurnReport& report() const { return report_; }
+
+ private:
+  net::Network* network_;
+  core::DetectionSession* session_;
+  ChurnConfig config_;
+  Rng rng_;
+  core::NetworkDelta last_delta_;
+  core::PipelineResult last_result_;
+  std::vector<bool> prev_boundary_;
+  ChurnReport report_;
+};
+
+}  // namespace ballfit::sim

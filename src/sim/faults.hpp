@@ -26,10 +26,16 @@
 ///     receives, nor forwards, and every message addressed to it becomes a
 ///     counted drop.
 ///
-/// One model instance is shared across every engine of a protocol run (the
-/// pipeline threads a single model through IFF and grouping), so the crash
-/// clock and the loss/duplication streams advance monotonically across
-/// stages. All methods are single-threaded, like the engine itself.
+/// A model instance can be shared across several engines (protocol-level
+/// callers thread one model through consecutive floods, so the crash clock
+/// and the loss/duplication streams advance monotonically across them).
+/// The detection pipeline instead splits the config: crash mechanisms live
+/// in a session-held model whose clock `DetectionSession::advance_faults`
+/// drives explicitly, while each flood stage runs under a fresh
+/// channel-only model (crash fields zeroed, stage-tagged seed) so its
+/// output is a pure function of the config — the property that makes
+/// faulted stage artifacts cacheable. All methods are single-threaded,
+/// like the engine itself.
 
 #include <cstddef>
 #include <cstdint>

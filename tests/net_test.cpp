@@ -286,5 +286,51 @@ TEST(EdgeMeasurementCache, SymmetricAcrossDirectedCopies) {
   }
 }
 
+// --- apply_moves: local adjacency rebuild ----------------------------------
+
+TEST(ApplyMoves, EquivalentToFreshConstruction) {
+  Rng rng(7);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 250; ++i)
+    pos.push_back({rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 5)});
+  Network net(pos, std::vector<bool>(pos.size(), false), 1.0);
+
+  // Mix of small drifts and one long jump, unsorted by id on purpose.
+  std::vector<NodeMove> moves = {
+      {42, {pos[42].x + 0.3, pos[42].y, pos[42].z - 0.2}},
+      {7, {pos[7].x - 0.4, pos[7].y + 0.1, pos[7].z}},
+      {199, {0.1, 0.1, 0.1}},  // jumps across the box
+  };
+  net.apply_moves(moves);
+  for (const NodeMove& m : moves) pos[m.node] = m.new_position;
+  const Network fresh(pos, std::vector<bool>(pos.size(), false), 1.0);
+
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    EXPECT_EQ(net.position(i).x, fresh.position(i).x) << "node " << i;
+    const auto got = net.neighbors(i);
+    const auto want = fresh.neighbors(i);
+    ASSERT_EQ(got.size(), want.size()) << "node " << i;
+    for (std::size_t k = 0; k < want.size(); ++k)
+      EXPECT_EQ(got[k], want[k]) << "node " << i;
+  }
+}
+
+TEST(ApplyMoves, RejectsDuplicateAndOutOfRangeIds) {
+  Network net = line_network(5);
+  const std::vector<NodeMove> dup = {{1, {0, 0, 0}}, {1, {1, 0, 0}}};
+  EXPECT_THROW(net.apply_moves(dup), InvalidArgument);
+  const std::vector<NodeMove> oob = {{5, {0, 0, 0}}};
+  EXPECT_THROW(net.apply_moves(oob), InvalidArgument);
+  // Neither call mutated the network.
+  EXPECT_DOUBLE_EQ(net.position(1).x, 0.9);
+  EXPECT_EQ(net.degree(0), 1u);
+}
+
+TEST(ApplyMoves, EmptyBatchIsNoOp) {
+  Network net = line_network(4);
+  net.apply_moves({});
+  EXPECT_EQ(net.degree(0), 1u);
+}
+
 }  // namespace
 }  // namespace ballfit::net

@@ -266,17 +266,222 @@ TEST(SessionThreads, ResultIndependentOfThreadCount) {
   }
 }
 
-// Guard rails: double-crash/revive of the same node and fault+delta mixing
-// are rejected loudly rather than silently corrupting the alive set.
-TEST(SessionDelta, FaultConfigRejectedOnMaskedSession) {
+// Guard rails: malformed deltas are rejected loudly — and before any state
+// change, so a failed apply leaves the session exactly as it was.
+TEST(SessionDelta, RejectsCrashOfDeadAndReviveOfAlive) {
   const net::Network net = sphere_network(18, 80, 100);
   DetectionSession session(net);
+  NetworkDelta crash;
+  crash.crashed = {1};
+  session.apply(crash);
+
+  NetworkDelta again;
+  again.crashed = {1};  // already dead
+  EXPECT_THROW(session.apply(again), InvalidArgument);
+  NetworkDelta revive_alive;
+  revive_alive.revived = {2};  // never crashed
+  EXPECT_THROW(session.apply(revive_alive), InvalidArgument);
+  NetworkDelta out_of_range;
+  out_of_range.crashed = {static_cast<NodeId>(net.num_nodes())};
+  EXPECT_THROW(session.apply(out_of_range), InvalidArgument);
+
+  // The rejected deltas changed nothing.
+  EXPECT_EQ(session.num_alive(), net.num_nodes() - 1);
+  EXPECT_FALSE(session.is_alive(1));
+  EXPECT_TRUE(session.is_alive(2));
+}
+
+TEST(SessionDelta, RejectsDuplicateIdsWithinOneDelta) {
+  const net::Network net = sphere_network(18, 80, 100);
+  DetectionSession session(net);
+  NetworkDelta dup_crash;
+  dup_crash.crashed = {4, 7, 4};
+  EXPECT_THROW(session.apply(dup_crash), InvalidArgument);
+  EXPECT_EQ(session.num_alive(), net.num_nodes());  // nothing applied
+
+  NetworkDelta crash;
+  crash.crashed = {4, 7};
+  session.apply(crash);
+  NetworkDelta dup_revive;
+  dup_revive.revived = {4, 4};
+  EXPECT_THROW(session.apply(dup_revive), InvalidArgument);
+  EXPECT_FALSE(session.is_alive(4));
+
+  NetworkDelta dup_move;
+  dup_move.moved = {{2, {0, 0, 0}}, {2, {1, 0, 0}}};
+  EXPECT_THROW(session.apply(dup_move), InvalidArgument);
+}
+
+TEST(SessionDelta, RejectsMovesOnConstBoundSession) {
+  const net::Network net = sphere_network(18, 80, 100);
+  DetectionSession session(net);  // const binding: observe-only
   NetworkDelta delta;
-  delta.crashed = {1};
-  session.apply(delta);
+  delta.moved = {{0, net.position(0)}};
+  EXPECT_THROW(session.apply(delta), InvalidArgument);
+}
+
+// A session bound to a mutable network accepts move deltas; the moved
+// node's re-detection matches a cold session on the moved network.
+TEST(SessionDelta, MoveDeltaMatchesColdSession) {
+  net::Network warm_net = sphere_network(19, 100, 160);
+  net::Network cold_net = sphere_network(19, 100, 160);
   PipelineConfig cfg;
-  cfg.faults.emplace();
-  EXPECT_THROW((void)session.run(cfg), InvalidArgument);
+  cfg.measurement_error = 0.1;
+
+  DetectionSession warm(warm_net);
+  (void)warm.run(cfg);  // populate caches pre-move
+
+  NetworkDelta delta;
+  const geom::Vec3 p5 = warm_net.position(5);
+  const geom::Vec3 p80 = warm_net.position(80);
+  delta.moved = {{5, {p5.x + 0.4, p5.y - 0.2, p5.z}},
+                 {80, {p80.x, p80.y + 0.5, p80.z - 0.3}}};
+  warm.apply(delta);
+  const PipelineResult incremental = warm.run(cfg);
+  EXPECT_GT(warm.stats().localize.partial_runs, 0u);
+  EXPECT_LT(warm.stats().last_frames_rebuilt, warm_net.num_nodes());
+
+  DetectionSession cold(cold_net);
+  cold.apply(delta);
+  expect_same_result(incremental, cold.run(cfg), "move incremental vs cold");
+}
+
+// --- Fault injection through the cached stage graph ------------------------
+
+// An active fault config flows through the same fingerprint-keyed stages:
+// repeating the config is pure cache hits and returns the identical result
+// — faulted artifacts are pure functions of the fault-stream fingerprint,
+// not of RNG call order.
+TEST(SessionFaults, RepeatedFaultedRunHitsEveryCache) {
+  const net::Network net = sphere_network(33, 80, 100);
+  DetectionSession session(net);
+  PipelineConfig cfg;
+  cfg.use_true_coordinates = true;
+  sim::FaultConfig faults;
+  faults.drop_probability = 0.1;
+  faults.duplicate_probability = 0.05;
+  faults.crash_fraction = 0.1;
+  faults.seed = 7;
+  cfg.faults = faults;
+
+  const PipelineResult a = session.run(cfg);
+  const std::uint64_t ubf_hits = session.stats().ubf.cache_hits;
+  const std::uint64_t iff_hits = session.stats().iff.cache_hits;
+  const std::uint64_t group_hits = session.stats().group.cache_hits;
+  const PipelineResult b = session.run(cfg);
+  EXPECT_EQ(a.ubf_candidates, b.ubf_candidates);
+  EXPECT_EQ(a.boundary, b.boundary);
+  EXPECT_EQ(a.groups.leader, b.groups.leader);
+  EXPECT_EQ(a.fault_stats.dropped, b.fault_stats.dropped);
+  EXPECT_EQ(a.fault_stats.duplicated, b.fault_stats.duplicated);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_GT(a.crashed_nodes, 0u);
+  EXPECT_EQ(session.stats().ubf.cache_hits, ubf_hits + 1);
+  EXPECT_EQ(session.stats().iff.cache_hits, iff_hits + 1);
+  EXPECT_EQ(session.stats().group.cache_hits, group_hits + 1);
+}
+
+// Faults and user deltas compose on one session: a masked session accepts
+// a faulted run and matches a cold session given the same dead set.
+TEST(SessionFaults, FaultsComposeWithAppliedDelta) {
+  const net::Network net = sphere_network(34, 100, 160);
+  PipelineConfig cfg;
+  cfg.use_true_coordinates = true;
+  sim::FaultConfig faults;
+  faults.drop_probability = 0.1;
+  faults.crash_fraction = 0.1;
+  faults.seed = 11;
+  cfg.faults = faults;
+
+  NetworkDelta delta;
+  delta.crashed = {2, 30, 31, 90};
+
+  DetectionSession warm(net);
+  (void)warm.run(cfg);  // faulted warm-up, then a user delta on top
+  warm.apply(delta);
+  const PipelineResult incremental = warm.run(cfg);
+
+  DetectionSession cold(net);
+  cold.apply(delta);
+  const PipelineResult scratch = cold.run(cfg);
+  EXPECT_EQ(incremental.boundary, scratch.boundary);
+  EXPECT_EQ(incremental.groups.leader, scratch.groups.leader);
+  EXPECT_EQ(incremental.crashed_nodes, scratch.crashed_nodes);
+  // The dead set is the union of both crash mechanisms.
+  EXPECT_GE(incremental.crashed_nodes, delta.crashed.size());
+}
+
+// Fault casualties do not outlive their model: a reliable run revives them
+// and reproduces the fault-free result bit-for-bit.
+TEST(SessionFaults, ReliableRunRevivesFaultCasualties) {
+  const net::Network net = sphere_network(35, 100, 160);
+  PipelineConfig reliable;
+  reliable.use_true_coordinates = true;
+  PipelineConfig faulted = reliable;
+  sim::FaultConfig faults;
+  faults.crash_fraction = 0.2;
+  faults.seed = 13;
+  faulted.faults = faults;
+
+  DetectionSession session(net);
+  const PipelineResult before = session.run(reliable);
+  const PipelineResult under_faults = session.run(faulted);
+  EXPECT_GT(under_faults.crashed_nodes, 0u);
+  EXPECT_TRUE(session.has_fault_model());
+  const PipelineResult after = session.run(reliable);
+  EXPECT_FALSE(session.has_fault_model());
+  EXPECT_EQ(session.num_alive(), net.num_nodes());
+  expect_same_result(before, after, "reliable run after faults");
+}
+
+// Satellite: crash → revive → crash round trip against the fault clock. A
+// user revive of a scheduled casualty sticks until the model re-syncs.
+TEST(SessionFaults, CrashReviveCrashRoundTripAgainstFaultClock) {
+  const net::Network net = sphere_network(36, 80, 100);
+  PipelineConfig cfg;
+  cfg.use_true_coordinates = true;
+  sim::FaultConfig faults;
+  faults.crash_at_round = {{12, 1}};
+  faults.seed = 3;
+  cfg.faults = faults;
+
+  DetectionSession session(net);
+  (void)session.run(cfg);  // round 0: the scheduled crash has not fired
+  EXPECT_TRUE(session.is_alive(12));
+
+  const NetworkDelta fired = session.advance_faults(1);
+  ASSERT_EQ(fired.crashed, std::vector<NodeId>{12});
+  EXPECT_FALSE(session.is_alive(12));
+
+  NetworkDelta revive;
+  revive.revived = {12};
+  session.apply(revive);  // operator intervention: node repaired
+  EXPECT_TRUE(session.is_alive(12));
+
+  (void)session.run(cfg);  // model still holds the node down: re-synced
+  EXPECT_FALSE(session.is_alive(12));
+}
+
+TEST(SessionFaults, AdvanceFaultsRequiresInstalledModel) {
+  const net::Network net = sphere_network(37, 80, 100);
+  DetectionSession session(net);
+  EXPECT_THROW((void)session.advance_faults(1), InvalidArgument);
+}
+
+// Satellite: delta_from_fault_state emits sorted, duplicate-free lists and
+// is idempotent — applying its delta and diffing again yields nothing.
+TEST(SessionFaults, DeltaFromFaultStateSortedDedupIdempotent) {
+  const net::Network net = sphere_network(38, 80, 100);
+  sim::FaultConfig fc;
+  fc.crash_at_round = {{20, 0}, {5, 0}, {20, 0}};  // unsorted, duplicated
+  const sim::FaultModel model(fc, net.num_nodes());
+
+  DetectionSession session(net);
+  const NetworkDelta d = delta_from_fault_state(session, model);
+  EXPECT_EQ(d.crashed, (std::vector<NodeId>{5, 20}));
+  EXPECT_TRUE(d.revived.empty());
+  session.apply(d);
+  EXPECT_TRUE(delta_from_fault_state(session, model).empty());
 }
 
 // --- Observability: stage counters and quality artifacts -------------------
@@ -365,17 +570,18 @@ TEST_F(SessionObs, QualityArtifactsConsistentAndCacheStable) {
   EXPECT_TRUE(found);
 }
 
-TEST_F(SessionObs, FaultRunsCounted) {
+TEST_F(SessionObs, InertFaultConfigIsTheReliablePath) {
   const net::Network net = sphere_network(33, 80, 100);
   DetectionSession session(net);
   PipelineConfig cfg;
-  cfg.faults.emplace();  // all-zero fault model: uncacheable legacy path
-  (void)session.run(cfg);
-  (void)session.run(cfg);
-  EXPECT_EQ(session.stats().fault_runs, 2u);
+  const PipelineResult reliable = session.run(cfg);
+  cfg.faults.emplace();  // all-zero fault model: nothing can fire
+  const PipelineResult inert = session.run(cfg);
+  expect_same_result(reliable, inert, "inert faults vs reliable");
+  EXPECT_FALSE(session.has_fault_model());
+  // No fault channel means no drop/duplicate counters were published.
   const auto counters = obs::snapshot().metrics.counters;
-  ASSERT_TRUE(counters.count("session.fault_runs"));
-  EXPECT_EQ(counters.at("session.fault_runs"), 2u);
+  EXPECT_FALSE(counters.count("pipeline.dropped"));
 }
 
 }  // namespace
