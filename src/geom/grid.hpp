@@ -20,12 +20,14 @@ namespace ballfit::geom {
 
 class SpatialGrid {
  public:
-  /// Builds a grid over `points` with cubic cells of size `cell_size`.
-  /// `cell_size` is typically the query radius so a radius query touches at
-  /// most 27 cells.
+  /// Builds a grid over `points` with cubic cells of edge `cell_size`, in
+  /// the same length units as the points (radio-range units everywhere in
+  /// this repo). `cell_size` is typically the query radius so a radius
+  /// query touches at most 27 cells; it must be > 0.
   SpatialGrid(const std::vector<Vec3>& points, double cell_size);
 
-  /// Indices of all points p with |p − q| <= radius.
+  /// Indices of all points p with |p − q| <= radius (same units as the
+  /// points; the comparison is inclusive, matching unit-disk adjacency).
   std::vector<std::uint32_t> query_radius(const Vec3& q, double radius) const;
 
   /// Visits all points within `radius` of `q` without allocating.

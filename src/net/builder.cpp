@@ -27,7 +27,8 @@ Network build_network(const model::Shape& shape, const BuildOptions& options,
   positions.insert(positions.end(), interior.begin(), interior.end());
   truth.resize(positions.size(), false);
 
-  Network net(std::move(positions), std::move(truth), options.radio_range);
+  Network net(std::move(positions), std::move(truth), options.radio_range,
+              options.threads);
 
   std::size_t dropped = 0;
   if (options.keep_largest_component && net.num_nodes() > 0) {
@@ -47,7 +48,7 @@ Network build_network(const model::Shape& shape, const BuildOptions& options,
         }
       }
       net = Network(std::move(kept_pos), std::move(kept_truth),
-                    options.radio_range);
+                    options.radio_range, options.threads);
     }
   }
 

@@ -27,6 +27,10 @@ struct BuildOptions {
   /// discarded, enforcing Definition 3's "no isolated nodes". The paper's
   /// densities make this a no-op in practice.
   bool keep_largest_component = true;
+  /// Worker threads for the unit-disk adjacency sweep (count; default 0 =
+  /// hardware concurrency). Sampling stays sequential — it consumes `rng` in
+  /// a fixed order — so the built network is identical for any value.
+  unsigned threads = 0;
 };
 
 struct BuildDiagnostics {

@@ -19,6 +19,8 @@ inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
 using NodeMask = std::vector<bool>;
 
 /// BFS hop distances from `source` (restricted to `mask` if given).
+/// `max_hops` is an inclusive cap in hops (default `kUnreachable` =
+/// unbounded); nodes beyond it report `kUnreachable`.
 std::vector<std::uint32_t> hop_distances(const Network& net, NodeId source,
                                          const NodeMask* mask = nullptr,
                                          std::uint32_t max_hops = kUnreachable);
@@ -53,8 +55,9 @@ bool is_connected(const Network& net);
 std::vector<NodeId> shortest_path(const Network& net, NodeId from, NodeId to,
                                   const NodeMask* mask = nullptr);
 
-/// Marks (sets to 1) every node within `k` hops of any seed, accumulating
-/// into `out` (must be sized num_nodes; existing marks are preserved).
+/// Marks (sets to 1) every node within `k` hops (inclusive; k = 0 marks
+/// just the seeds) of any seed, accumulating into `out` (must be sized
+/// num_nodes; existing marks are preserved).
 /// Traversal runs over the full adjacency, deliberately ignoring any
 /// aliveness mask: a dead relay still bounds how far a topology change can
 /// influence a two-hop neighborhood, so the unmasked reach is the sound

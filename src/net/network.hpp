@@ -4,13 +4,27 @@
 /// The 3D wireless network: node positions, unit-disk adjacency, and
 /// ground-truth boundary labels.
 ///
-/// Per Definition 1 the maximum radio transmission range is normalized to 1;
-/// builders may use another range, in which case all geometry scales with
-/// it. `Network` is immutable to algorithms — they observe it, they never
+/// Units and defaults contract (shared by every `net/` and `geom/` header):
+/// all lengths — positions, `radio_range`, grid cell sizes — are in the same
+/// world unit. Per Definition 1 the maximum radio transmission range is
+/// normalized to 1; builders may use another range, in which case all
+/// geometry scales with it. Node ids are dense `uint32_t` indices in
+/// `[0, num_nodes())`; adjacency rows are sorted ascending and exclude the
+/// node itself.
+///
+/// `Network` is immutable to algorithms — they observe it, they never
 /// mutate it. The single sanctioned mutation is `apply_moves`, used by the
 /// churn engine to relocate nodes between detection runs; it rebuilds
 /// adjacency only around the moved nodes and leaves every other CSR row
 /// byte-identical to a from-scratch construction.
+///
+/// Sharding support: `induced_subnetwork` extracts a vertex-induced
+/// subgraph as a standalone `Network` that remembers each node's id in the
+/// parent via `external_id`. Algorithms that derive randomness from node
+/// identity (measurement noise, SMACOF restart seeds) key on the external
+/// id, so a subnetwork reproduces the parent's per-node and per-edge draws
+/// bit-for-bit — the property `core::ShardedDetector` relies on for
+/// boundary-set equality with the unsharded path.
 
 #include <cstdint>
 #include <span>
@@ -26,15 +40,19 @@ inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 /// A position update for one node, applied by `Network::apply_moves`.
 struct NodeMove {
   NodeId node = kInvalidNode;
-  geom::Vec3 new_position{};
+  geom::Vec3 new_position{};  ///< world units (same unit as radio_range)
 };
 
 class Network {
  public:
-  /// Builds adjacency from positions: i ~ j iff |p_i − p_j| <= radio_range.
-  /// `ground_truth_boundary[i]` marks nodes sampled on the model surface.
+  /// Builds adjacency from positions: i ~ j iff |p_i − p_j| <= radio_range
+  /// (world units, > 0). `ground_truth_boundary[i]` marks nodes sampled on
+  /// the model surface. `build_threads` (count, default 1; 0 = hardware
+  /// concurrency) parallelizes the unit-disk sweep; the CSR produced is
+  /// byte-identical for every thread count.
   Network(std::vector<geom::Vec3> positions,
-          std::vector<bool> ground_truth_boundary, double radio_range);
+          std::vector<bool> ground_truth_boundary, double radio_range,
+          unsigned build_threads = 1);
 
   std::size_t num_nodes() const { return positions_.size(); }
   double radio_range() const { return radio_range_; }
@@ -69,6 +87,33 @@ class Network {
   std::size_t min_degree() const;
   std::size_t max_degree() const;
 
+  /// Stable identity of node `i` for randomness derivation: its id in the
+  /// root network this one was extracted from, or `i` itself for networks
+  /// built directly from positions. Subnetworks of subnetworks compose
+  /// (always the ROOT id).
+  NodeId external_id(NodeId i) const {
+    return external_ids_.empty() ? i : external_ids_[i];
+  }
+  /// True when this network carries a non-identity external-id map (i.e. it
+  /// was produced by `induced_subnetwork`).
+  bool has_external_ids() const { return !external_ids_.empty(); }
+
+  /// An induced subnetwork plus its local↔global id maps (defined after
+  /// the class — it holds a Network by value).
+  struct Subnetwork;
+
+  /// Extracts the vertex-induced subgraph on `nodes` (parent ids, sorted
+  /// ascending, unique, in range). Local ids preserve the parent's relative
+  /// order: `to_global` is strictly increasing, so sorted parent structures
+  /// (CSR rows, frame member lists) map to sorted local structures with the
+  /// same relative order — the order-isomorphism that keeps SMACOF math on
+  /// a subnetwork bit-identical to the parent. Positions, truth labels, and
+  /// radio range are copied; adjacency rows are the parent rows intersected
+  /// with `nodes` (no geometric rebuild, so a subnetwork of a moved network
+  /// sees the moved adjacency). External ids compose through multiple
+  /// extraction levels.
+  Subnetwork induced_subnetwork(std::span<const NodeId> nodes) const;
+
   /// Relocates the given nodes and rebuilds adjacency locally: only rows of
   /// nodes whose neighborhood can change (the moved nodes, their old
   /// neighbors, and their new neighbors) are recomputed; the result is
@@ -78,13 +123,29 @@ class Network {
   void apply_moves(std::span<const NodeMove> moves);
 
  private:
+  Network() = default;  // used by induced_subnetwork
+
+  /// Unit-disk CSR construction; see the ctor contract. Dispatches between
+  /// the dense grid sweep (counting-sort buckets over a dense cell array,
+  /// parallel two-pass count/fill) and the hash-grid fallback for point
+  /// sets whose AABB would make the dense cell array larger than the
+  /// point count justifies.
+  void build_adjacency(unsigned threads);
+
   std::vector<geom::Vec3> positions_;
   std::vector<bool> truth_boundary_;
   std::size_t num_truth_ = 0;
-  double radio_range_;
+  double radio_range_ = 0.0;
+  /// Root-network ids, parallel to positions_; empty = identity map.
+  std::vector<NodeId> external_ids_;
   // CSR adjacency.
   std::vector<std::size_t> offsets_;
   std::vector<NodeId> adjacency_;
+};
+
+struct Network::Subnetwork {
+  Network net;                    ///< the vertex-induced subgraph
+  std::vector<NodeId> to_global;  ///< local id -> parent id (ascending)
 };
 
 }  // namespace ballfit::net
