@@ -1,15 +1,24 @@
 /// \file bench_compare.cpp
 /// Perf-regression gate for the hot kernels.
 ///
-/// Times four kernels on Fig. 1 scenarios, writes one machine-readable
+/// Times five kernels on Fig. 1 scenarios, writes one machine-readable
 /// record per kernel, and (with `--against`) compares each measured wall
 /// time to a committed baseline:
 ///
 ///   - `ubf.true_coords` — `detect_with_true_coordinates`, the pure
 ///     Algorithm 1 kernel free of localization noise.
-///   - `pipeline.local_frames` — the per-node MDS-MAP frame build of the
-///     noisy-coordinates pipeline (the headline workload's dominant cost),
-///     at a reduced scale so a rep stays under ~2 s.
+///   - `pipeline.local_frames` — the noisy-coordinates localization stage
+///     at the *default* equivalence tier (kBoundaryIdentical: blocked
+///     SMACOF, adaptive plateau exits, fast sweep kernel), built through
+///     the scheduled `build_all_frames` path the session runs, at a
+///     reduced scale so a rep stays under ~1 s.
+///   - `pipeline.local_frames_bitwise` — the same frame build pinned to
+///     `EquivalenceTier::kBitwise` (per-node loop, every fast path off):
+///     the pre-optimization reference kernel. Two in-run gates tie the
+///     tiers together: the default tier must be ≥ 2x faster than the
+///     bitwise kernel measured in the same process, and the boundary sets
+///     of the two tiers must agree on ≥ 95% of the bitwise boundary (the
+///     tier-drift tripwire).
 ///   - `pipeline.sweep_reuse` — a 5-point ε sweep through one
 ///     `core::DetectionSession` (the frames are ε-independent and are
 ///     reused), timed end-to-end and additionally required to beat five
@@ -29,12 +38,15 @@
 /// contract is classification-preserving output — a count drift is a
 /// correctness regression, not a perf one). A kernel missing from the
 /// baseline (e.g. an old v1 file, which carried only `ubf.true_coords`)
-/// is reported and skipped. See EXPERIMENTS.md, "Performance regression
-/// tracking" for the schema, the threshold rationale, and how to refresh
-/// the baseline after an intentional change.
+/// is reported and skipped; likewise a tier-dependent kernel whose
+/// baseline record predates equivalence tiers (no `tier` field, or a
+/// different tier) is skipped with a notice — refresh the baseline to
+/// re-arm it. See EXPERIMENTS.md, "Performance regression tracking" for
+/// the schema, the threshold rationale, and how to refresh the baseline
+/// after an intentional change.
 ///
 /// Flags: --scale S (default 1.0)  --reps N (default 7)
-///        --frames-scale S (default 0.35)  --frames-reps N (default 3)
+///        --frames-scale S (default 0.35)  --frames-reps N (default 5)
 ///        --frames-error E (default 0.2)  --sweep-reps N (default 3)
 ///        --sharded-nodes N (default 100000)  --sharded-reps N (default 3)
 ///        --sharded-threads T (default 8)
@@ -77,6 +89,11 @@ struct KernelRecord {
   double best_ms = 0.0;
   double mean_ms = 0.0;
   std::size_t boundary_nodes = 0;
+  /// Equivalence tier the kernel ran at ("" for tier-independent kernels,
+  /// e.g. the true-coordinates paths). Baselines whose record carries a
+  /// different tier — or none, i.e. pre-tier files — are not comparable
+  /// and are skipped by the gate.
+  std::string tier;
 };
 
 /// Minimal field extraction from a baseline file. The repo has a JSON
@@ -127,6 +144,27 @@ int gate_kernel(const KernelRecord& rec, const std::string& baseline,
                 rec.name.c_str(), against.c_str());
     return 0;
   }
+  if (!rec.tier.empty()) {
+    // Tier-dependent kernel: only records measured at the same equivalence
+    // tier are comparable. `tier` is written directly after the kernel
+    // name, so a match must land before the next "name" key (the record's
+    // own scenario name) — anything later belongs to another record.
+    const std::size_t next = baseline.find("\"name\":\"", at + 1);
+    const std::size_t tpos = baseline.find("\"tier\":\"", at);
+    std::string base_tier;
+    if (tpos != std::string::npos &&
+        (next == std::string::npos || tpos < next)) {
+      base_tier = extract_string(baseline, "tier", at);
+    }
+    if (base_tier != rec.tier) {
+      std::printf("%s: baseline %s is %s (measured at tier \"%s\", now "
+                  "\"%s\") — skipping, refresh the baseline to gate it\n",
+                  rec.name.c_str(), against.c_str(),
+                  base_tier.empty() ? "pre-tier" : "a different tier",
+                  base_tier.c_str(), rec.tier.c_str());
+      return 0;
+    }
+  }
   const std::string base_sha = extract_string(baseline, "git_sha");
 
   double base_best = 0.0;
@@ -175,9 +213,10 @@ int gate_kernel(const KernelRecord& rec, const std::string& baseline,
 }
 
 void write_kernel(ballfit::obs::JsonWriter& w, const KernelRecord& rec) {
-  w.begin_object()
-      .field("name", rec.name)
-      .key("scenario")
+  w.begin_object().field("name", rec.name);
+  // Directly after the name so the gate can scope it to this record.
+  if (!rec.tier.empty()) w.field("tier", rec.tier);
+  w.key("scenario")
       .begin_object()
       .field("name", rec.scenario_name)
       .field("scale", rec.scale)
@@ -199,7 +238,7 @@ int main(int argc, char** argv) {
   const double scale = double_flag(argc, argv, "--scale", 1.0);
   const int reps = int_flag(argc, argv, "--reps", 7);
   const double frames_scale = double_flag(argc, argv, "--frames-scale", 0.35);
-  const int frames_reps = int_flag(argc, argv, "--frames-reps", 3);
+  const int frames_reps = int_flag(argc, argv, "--frames-reps", 5);
   const double frames_error = double_flag(argc, argv, "--frames-error", 0.2);
   const int sweep_reps = int_flag(argc, argv, "--sweep-reps", 3);
   const int sharded_nodes = int_flag(argc, argv, "--sharded-nodes", 100000);
@@ -246,18 +285,27 @@ int main(int argc, char** argv) {
     records.push_back(rec);
   }
 
-  // Kernel 2: the noisy-coordinates localization stage — every node's
-  // MDS-MAP(P) two-hop frame, built single-threaded. This is where the
-  // headline pipeline (use_true_coordinates=false) spends most of its
-  // time. The boundary count comes from one untimed full detection pass
-  // over the same frames, as the classification-drift tripwire.
+  // Kernels 2 + 3: the noisy-coordinates localization stage — every
+  // node's MDS-MAP(P) two-hop frame, built single-threaded. This is where
+  // the headline pipeline (use_true_coordinates=false) spends most of its
+  // time. Kernel 2 runs the default tier (kBoundaryIdentical: blocked
+  // SMACOF + adaptive plateau exits + fast sweep kernel) through the
+  // scheduled `build_all_frames` path; kernel 3 pins kBitwise, the
+  // pre-optimization per-node reference. The boundary counts come from
+  // untimed full detection passes per tier; the two in-run gates below
+  // (tier speedup, tier drift) tie the kernels together.
   {
     const model::Scenario scenario = model::fig1_network(frames_scale);
     const net::Network network =
         bench::build_scenario_network(scenario, /*seed=*/1, 18.8);
     const net::NoisyDistanceModel model(network, frames_error, /*seed=*/1);
-    const localization::Localizer localizer(network, model);
 
+    core::UbfConfig ubf_config;
+    ubf_config.measurement_error_hint = frames_error;
+    const core::UnitBallFitting ubf(network, ubf_config);
+
+    // Kernel 2: default tier through the scheduled builder.
+    const localization::Localizer localizer(network, model);
     KernelRecord rec;
     rec.name = "pipeline.local_frames";
     rec.scenario_name = scenario.name;
@@ -265,15 +313,17 @@ int main(int argc, char** argv) {
     rec.nodes = network.num_nodes();
     rec.avg_degree = avg_degree_of(network);
     rec.reps = frames_reps;
+    rec.tier = "boundary_identical";
     for (int rep = 0; rep < frames_reps; ++rep) {
+      std::vector<localization::LocalFrame> frames;
       const auto t0 = Clock::now();
-      double checksum = 0.0;  // keep the frame builds observable
-      for (std::size_t i = 0; i < network.num_nodes(); ++i) {
-        const localization::LocalFrame frame =
-            localizer.mdsmap_frame(static_cast<net::NodeId>(i));
-        checksum += frame.stress_rms;
-      }
+      localization::build_all_frames(
+          localizer, localization::FrameScope::kTwoHop, frames,
+          /*threads=*/1);
       const auto t1 = Clock::now();
+      double checksum = 0.0;  // keep the frame builds observable
+      for (const localization::LocalFrame& f : frames)
+        checksum += f.stress_rms;
       const double ms =
           std::chrono::duration<double, std::milli>(t1 - t0).count();
       rec.mean_ms += ms;
@@ -282,16 +332,88 @@ int main(int argc, char** argv) {
                   rec.name.c_str(), rep, ms, checksum);
     }
     rec.mean_ms /= frames_reps;
-
-    core::UbfConfig config;
-    config.measurement_error_hint = frames_error;
-    const core::UnitBallFitting ubf(network, config);
     const std::vector<bool> boundary = ubf.detect(localizer, /*threads=*/1);
     for (const bool b : boundary) rec.boundary_nodes += b;
     std::printf("%s: best %.2f ms, mean %.2f ms over %d reps (boundary=%zu)\n",
                 rec.name.c_str(), rec.best_ms, rec.mean_ms, rec.reps,
                 rec.boundary_nodes);
     records.push_back(rec);
+
+    // Kernel 3: the bitwise reference — the pre-optimization per-node
+    // kernel, bit-identical to the historical default.
+    localization::LocalizerConfig bitwise_cfg;
+    bitwise_cfg.tier = localization::EquivalenceTier::kBitwise;
+    const localization::Localizer bitwise(network, model, bitwise_cfg);
+    KernelRecord ref;
+    ref.name = "pipeline.local_frames_bitwise";
+    ref.scenario_name = scenario.name;
+    ref.scale = frames_scale;
+    ref.nodes = network.num_nodes();
+    ref.avg_degree = avg_degree_of(network);
+    ref.reps = frames_reps;
+    ref.tier = "bitwise";
+    for (int rep = 0; rep < frames_reps; ++rep) {
+      const auto t0 = Clock::now();
+      double checksum = 0.0;
+      for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+        const localization::LocalFrame frame =
+            bitwise.mdsmap_frame(static_cast<net::NodeId>(i));
+        checksum += frame.stress_rms;
+      }
+      const auto t1 = Clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      ref.mean_ms += ms;
+      if (rep == 0 || ms < ref.best_ms) ref.best_ms = ms;
+      std::printf("%s rep %d: %.2f ms (stress checksum %.6f)\n",
+                  ref.name.c_str(), rep, ms, checksum);
+    }
+    ref.mean_ms /= frames_reps;
+    const std::vector<bool> bitwise_boundary =
+        ubf.detect(bitwise, /*threads=*/1);
+    for (const bool b : bitwise_boundary) ref.boundary_nodes += b;
+    std::printf("%s: best %.2f ms, mean %.2f ms over %d reps (boundary=%zu)\n",
+                ref.name.c_str(), ref.best_ms, ref.mean_ms, ref.reps,
+                ref.boundary_nodes);
+    records.push_back(ref);
+
+    // In-run gate 1 — tier speedup: the point of the optimized default
+    // tier is throughput; it must beat the bitwise kernel measured in the
+    // same process by ≥ 2x (the vs-pre-PR speedup is larger, since the
+    // bitwise kernel itself carries the bit-identical optimizations — see
+    // EXPERIMENTS.md).
+    const double tier_speedup = ref.best_ms / rec.best_ms;
+    std::printf("tier speedup: %.2f ms bitwise -> %.2f ms default "
+                "(%.2fx)\n",
+                ref.best_ms, rec.best_ms, tier_speedup);
+    if (tier_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: default tier only %.2fx faster than the "
+                   "bitwise kernel (contract: >= 2x)\n",
+                   tier_speedup);
+      return 1;
+    }
+    // In-run gate 2 — tier drift tripwire: the default tier may round
+    // differently, but its boundary must agree with the bitwise answer on
+    // ≥ 95% of nodes flagged by either tier.
+    std::size_t flips = 0, either = 0;
+    for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+      flips += boundary[i] != bitwise_boundary[i];
+      either += boundary[i] || bitwise_boundary[i];
+    }
+    const double drift =
+        either == 0 ? 0.0
+                    : static_cast<double>(flips) / static_cast<double>(either);
+    std::printf("tier drift: %zu/%zu flagged nodes flip between tiers "
+                "(%.1f%%)\n",
+                flips, either, drift * 100.0);
+    if (drift > 0.05) {
+      std::fprintf(stderr,
+                   "TIER DRIFT: default tier flips %.1f%% of the boundary "
+                   "vs kBitwise (tripwire: 5%%)\n",
+                   drift * 100.0);
+      return 1;
+    }
   }
 
   // Kernel 3: the session-cached config sweep — five ε points through one
@@ -319,6 +441,7 @@ int main(int argc, char** argv) {
     KernelRecord rec;
     rec.name = "pipeline.sweep_reuse";
     rec.scenario_name = scenario.name;
+    rec.tier = "boundary_identical";  // sweeps the default localizer
     rec.scale = frames_scale;
     rec.nodes = network.num_nodes();
     rec.avg_degree = avg_degree_of(network);
@@ -479,7 +602,7 @@ int main(int argc, char** argv) {
   {
     obs::JsonWriter w;
     w.begin_object();
-    w.field("schema", "ballfit-bench-compare-v2");
+    w.field("schema", "ballfit-bench-compare-v3");
     w.field("git_sha", sha);
     // Kernels 1–3 are timed single-threaded; `pipeline.sharded` records
     // its own thread count in the comparison log.

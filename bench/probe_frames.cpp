@@ -52,14 +52,36 @@ int main() {
     const localization::Localizer loc(net, model);
     const localization::TwoHopFrames frames(loc);
 
+    // MDS-MAP frames through the shared scheduled builder (the session's
+    // Localize stage path: blocked/warm per the configured tier) instead
+    // of one-off per-node builds, so the probe measures the same kernel
+    // the pipeline runs and reports its effort accounting.
+    std::vector<localization::LocalFrame> mdsmap;
+    localization::FrameBuildStats effort;
+    localization::build_all_frames(loc, localization::FrameScope::kTwoHop,
+                                   mdsmap, /*threads=*/0, /*alive=*/nullptr,
+                                   /*rebuild=*/nullptr, &effort);
+
     std::vector<double> e1, e2, e3;
     for (net::NodeId v = 0; v < net.num_nodes(); v += 7) {
       const auto& f1 = frames.one_hop_frame(v);
       if (!f1.ok) continue;
       e1.push_back(frame_error_vs_truth(net, f1, 1.5));
       e2.push_back(frame_error_vs_truth(net, frames.frame(v, 0), 1.5));
-      e3.push_back(frame_error_vs_truth(net, loc.mdsmap_frame(v), 1.5));
+      e3.push_back(frame_error_vs_truth(net, mdsmap[v], 1.5));
     }
+    std::printf(
+        "error %.0f%%: frames=%llu warm %llu/%llu cold=%llu sweeps %llu/%llu "
+        "restarts_skipped=%llu plateau=%llu stress=%llu\n",
+        e * 100.0, static_cast<unsigned long long>(effort.frames_built),
+        static_cast<unsigned long long>(effort.warm_hits),
+        static_cast<unsigned long long>(effort.warm_misses),
+        static_cast<unsigned long long>(effort.cold_builds),
+        static_cast<unsigned long long>(effort.sweeps_executed),
+        static_cast<unsigned long long>(effort.sweep_budget),
+        static_cast<unsigned long long>(effort.restarts_skipped),
+        static_cast<unsigned long long>(effort.plateau_exits),
+        static_cast<unsigned long long>(effort.stress_exits));
     std::sort(e1.begin(), e1.end());
     std::sort(e2.begin(), e2.end());
     std::sort(e3.begin(), e3.end());

@@ -71,6 +71,38 @@ void mix_ubf_core(Fingerprint& fp, const UbfConfig& c) {
   fp.u64(c.scope == UbfConfig::EmptinessScope::kTwoHop ? 1u : 0u);
 }
 
+/// Every LocalizerConfig field. The whole config keys the Measure artifact
+/// (the localizer object embeds it), so cached frames can never mix
+/// equivalence tiers or optimization settings.
+void mix_localizer_config(Fingerprint& fp,
+                          const localization::LocalizerConfig& c) {
+  fp.boolean(c.complete_missing_pairs);
+  fp.f64(c.missing_pair_fallback);
+  fp.u64(static_cast<std::uint64_t>(c.smacof_sweeps));
+  fp.u64(static_cast<std::uint64_t>(c.mdsmap_sweeps));
+  fp.u64(static_cast<std::uint64_t>(c.smacof_restarts));
+  fp.u64(c.restart_seed);
+  fp.boolean(c.topk_mds);
+  fp.u64(c.topk_mds_threshold);
+  fp.boolean(c.sparse_smacof);
+  fp.boolean(c.use_edge_cache);
+  fp.u64(static_cast<std::uint64_t>(c.tier));
+  fp.boolean(c.warm_start);
+  fp.boolean(c.adaptive_sweeps);
+  fp.boolean(c.blocked_smacof);
+  fp.f64(c.adaptive_floor);
+  fp.u64(static_cast<std::uint64_t>(c.plateau_sweeps));
+  fp.f64(c.plateau_rel_tol);
+  fp.f64(c.plateau_guard);
+  fp.u64(static_cast<std::uint64_t>(c.stress_stride));
+  fp.u64(static_cast<std::uint64_t>(c.mds_eigen_iters));
+  fp.f64(c.mds_eigen_tol);
+  fp.f64(c.warm_accept_factor);
+  fp.u64(c.warm_min_anchors);
+  fp.f64(c.warm_min_coverage);
+  fp.u64(c.batch_frames);
+}
+
 std::size_t count_marks(const std::vector<char>& mask) {
   return static_cast<std::size_t>(
       std::count(mask.begin(), mask.end(), static_cast<char>(1)));
@@ -355,11 +387,16 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
   }
 
   // --- Measure: noise model + localizer (includes the per-edge
-  // measurement cache). Keyed on exactly (measurement_error, noise_seed).
+  // measurement cache). Keyed on (measurement_error, noise_seed) plus the
+  // full localizer config — the localizer object embeds it, and every
+  // downstream frame artifact chains off `measure_version_`, so runs at
+  // different equivalence tiers (or any other localizer setting) can never
+  // share cached frames.
   {
     Fingerprint fp;
     fp.f64(config.measurement_error);
     fp.u64(config.noise_seed);
+    mix_localizer_config(fp, config.localizer);
     if (measure_valid_ && measure_fp_ == fp.value() && !measure_stale_) {
       ++stats_.measure.cache_hits;
       note_stage("measure", "cache_hits");
@@ -371,14 +408,14 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
       // set remain valid.
       BALLFIT_SPAN("measurement");
       model_.emplace(*network_, config.measurement_error, config.noise_seed);
-      localizer_.emplace(*network_, *model_);
+      localizer_.emplace(*network_, *model_, config.localizer);
       measure_stale_ = false;
       ++stats_.measure.partial_runs;
       note_stage("measure", "partial_runs");
     } else {
       BALLFIT_SPAN("measurement");
       model_.emplace(*network_, config.measurement_error, config.noise_seed);
-      localizer_.emplace(*network_, *model_);
+      localizer_.emplace(*network_, *model_, config.localizer);
       measure_fp_ = fp.value();
       measure_valid_ = true;
       measure_stale_ = false;
@@ -416,8 +453,13 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
     // bit-identical to a full one.
     if (frames_valid_ && frames_key_ == frames_key) {
       stats_.last_frames_rebuilt = count_marks(frames_dirty_);
+      // A partial rebuild refreshes only the dirty frames, so its effort
+      // stats describe a fragment; fold them into the artifact's totals
+      // rather than replacing them.
+      localization::FrameBuildStats partial;
       localization::build_all_frames(*localizer_, scope, frames_, threads,
-                                     alive_mask, &frames_dirty_);
+                                     alive_mask, &frames_dirty_, &partial);
+      loc_stats_.merge(partial);
       ++stats_.localize.partial_runs;
       note_stage("localize", "partial_runs");
       if (obs::enabled()) {
@@ -427,8 +469,9 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
       }
     } else {
       frames_.clear();
+      loc_stats_ = {};
       localization::build_all_frames(*localizer_, scope, frames_, threads,
-                                     alive_mask, nullptr);
+                                     alive_mask, nullptr, &loc_stats_);
       ++stats_.localize.full_runs;
       note_stage("localize", "full_runs");
     }
@@ -512,6 +555,7 @@ void DetectionSession::run_ubf_stages(const PipelineConfig& config,
   result.ubf_candidates = ubf_candidates_;
   result.ubf_confidence = ubf_confidence_;
   result.frame_fallbacks = frame_fallbacks_;
+  result.localize_stats = loc_stats_;
 }
 
 void DetectionSession::run_filter_stages(const PipelineConfig& config,

@@ -213,6 +213,9 @@ class DetectionSession {
 
   // --- Localize artifact.
   std::vector<localization::LocalFrame> frames_;
+  /// Effort accounting of the build that produced `frames_` (cache hits
+  /// republish it; true-coordinates runs leave it zeroed).
+  localization::FrameBuildStats loc_stats_;
   std::uint64_t frames_key_ = 0;    ///< (measure_version, scope)
   std::uint64_t frames_epoch_ = 0;  ///< alive_epoch_ the frames reflect
   std::uint64_t frames_version_ = 0;

@@ -306,6 +306,10 @@ PipelineResult ShardedDetector::run(const PipelineConfig& config) {
       }
     }
     fallbacks += r.frame_fallbacks;
+    // Localization effort is per-shard-session; the global view is the
+    // sum (halo nodes are built by every shard that sees them, and the
+    // merged counters say so rather than pretending otherwise).
+    result.localize_stats.merge(r.localize_stats);
   }
   result.frame_fallbacks = fallbacks;
 

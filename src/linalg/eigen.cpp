@@ -91,7 +91,7 @@ EigenDecomposition eigen_symmetric(const Matrix& m, double tol, int max_sweeps,
 }
 
 EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters,
-                               double tol) {
+                               double tol, bool data_seed) {
   BALLFIT_REQUIRE(m.rows() == m.cols(), "eigen_top_k needs a square matrix");
   const std::size_t n = m.rows();
   BALLFIT_REQUIRE(k >= 1 && static_cast<std::size_t>(k) <= n,
@@ -117,18 +117,78 @@ EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters,
   // Subspace block X (n×k), deterministically seeded.
   std::vector<std::vector<double>> x(static_cast<std::size_t>(k),
                                      std::vector<double>(n));
-  std::uint64_t seed = 0x243f6a8885a308d3ULL;
-  for (int c = 0; c < k; ++c)
-    for (std::size_t r = 0; r < n; ++r)
-      x[static_cast<std::size_t>(c)][r] =
-          double(splitmix64(seed) >> 11) * 0x1.0p-53 - 0.5;
+  if (data_seed) {
+    // The k largest-norm matrix columns (ties by lower index). They span
+    // mostly the dominant invariant subspace already, so the iteration
+    // starts close to its fixpoint; the MGS step inside the loop
+    // orthonormalizes them (near-parallel picks collapse to a clamped
+    // tiny norm and re-expand along the residual, as any degenerate
+    // column would).
+    std::vector<std::pair<double, std::size_t>> norms(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < n; ++r) s += m(r, c) * m(r, c);
+      norms[c] = {-s, c};
+    }
+    std::stable_sort(norms.begin(), norms.end());
+    for (int c = 0; c < k; ++c) {
+      const std::size_t src = norms[static_cast<std::size_t>(c)].second;
+      for (std::size_t r = 0; r < n; ++r)
+        x[static_cast<std::size_t>(c)][r] = m(r, src);
+    }
+  } else {
+    std::uint64_t seed = 0x243f6a8885a308d3ULL;
+    for (int c = 0; c < k; ++c)
+      for (std::size_t r = 0; r < n; ++r)
+        x[static_cast<std::size_t>(c)][r] =
+            double(splitmix64(seed) >> 11) * 0x1.0p-53 - 0.5;
+  }
 
-  auto matvec_shifted = [&](const std::vector<double>& v,
-                            std::vector<double>& out_vec) {
+  // Fused block matvec: y[c] = (A + shift·I)·x[c] for every column in one
+  // pass over the matrix. Each output element keeps the exact scalar
+  // accumulation order of the one-column matvec (s = shift·v[r], then
+  // s += m(r,j)·v[j] for ascending j), so the fusion is bit-identical to
+  // looping columns outermost — it only cuts the matrix-stream traffic
+  // k-fold per pass.
+  auto matvec_block = [&](const std::vector<std::vector<double>>& v,
+                          std::vector<std::vector<double>>& y,
+                          std::vector<double>& acc) {
+    if (k == 3) {
+      // Register-resident accumulators for the k the MDS init always uses;
+      // the generic path's indirection through vector-of-vectors defeats
+      // unrolling. Accumulation order per output is unchanged.
+      const double* v0 = v[0].data();
+      const double* v1 = v[1].data();
+      const double* v2 = v[2].data();
+      for (std::size_t r = 0; r < n; ++r) {
+        double s0 = shift * v0[r];
+        double s1 = shift * v1[r];
+        double s2 = shift * v2[r];
+        const double* row = m.data().data() + r * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          const double a = row[j];
+          s0 += a * v0[j];
+          s1 += a * v1[j];
+          s2 += a * v2[j];
+        }
+        y[0][r] = s0;
+        y[1][r] = s1;
+        y[2][r] = s2;
+      }
+      return;
+    }
     for (std::size_t r = 0; r < n; ++r) {
-      double s = shift * v[r];
-      for (std::size_t c = 0; c < n; ++c) s += m(r, c) * v[c];
-      out_vec[r] = s;
+      for (int c = 0; c < k; ++c)
+        acc[static_cast<std::size_t>(c)] =
+            shift * v[static_cast<std::size_t>(c)][r];
+      for (std::size_t j = 0; j < n; ++j) {
+        const double a = m(r, j);
+        for (int c = 0; c < k; ++c)
+          acc[static_cast<std::size_t>(c)] +=
+              a * v[static_cast<std::size_t>(c)][j];
+      }
+      for (int c = 0; c < k; ++c)
+        y[static_cast<std::size_t>(c)][r] = acc[static_cast<std::size_t>(c)];
     }
   };
   auto dot = [&](const std::vector<double>& a, const std::vector<double>& b) {
@@ -138,14 +198,20 @@ EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters,
   };
 
   EigenDecomposition out;
-  std::vector<double> tmp(n);
+  std::vector<std::vector<double>> y(static_cast<std::size_t>(k),
+                                     std::vector<double>(n));
+  std::vector<double> acc(static_cast<std::size_t>(k));
   std::vector<double> prev_values(static_cast<std::size_t>(k), 0.0);
+  // The Rayleigh product A·x of iteration i doubles as the power-step
+  // input of iteration i+1 (x is unchanged between the two reads), so
+  // after the first iteration each round costs a single fused pass.
+  bool have_y = false;
   for (int iter = 0; iter < max_iters; ++iter) {
     // One block power step + modified Gram-Schmidt.
+    if (!have_y) matvec_block(x, y, acc);
     for (int c = 0; c < k; ++c) {
       auto& col = x[static_cast<std::size_t>(c)];
-      matvec_shifted(col, tmp);
-      col = tmp;
+      col = y[static_cast<std::size_t>(c)];
       for (int p = 0; p < c; ++p) {
         const double proj = dot(col, x[static_cast<std::size_t>(p)]);
         for (std::size_t r = 0; r < n; ++r)
@@ -155,11 +221,13 @@ EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters,
       for (std::size_t r = 0; r < n; ++r) col[r] /= norm;
     }
     // Rayleigh quotients; stop when they stabilize.
+    matvec_block(x, y, acc);
+    have_y = true;
     bool stable = true;
     for (int c = 0; c < k; ++c) {
-      matvec_shifted(x[static_cast<std::size_t>(c)], tmp);
-      const double lambda =
-          dot(x[static_cast<std::size_t>(c)], tmp) - shift;
+      const double lambda = dot(x[static_cast<std::size_t>(c)],
+                                y[static_cast<std::size_t>(c)]) -
+                            shift;
       if (std::fabs(lambda - prev_values[static_cast<std::size_t>(c)]) >
           tol * (std::fabs(lambda) + 1.0))
         stable = false;

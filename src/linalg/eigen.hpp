@@ -38,7 +38,17 @@ EigenDecomposition eigen_symmetric(const Matrix& m, double tol = 1e-12,
 /// m + σI converges to them. The returned pairs are explicitly sorted by
 /// descending eigenvalue — subspace iteration usually converges in order,
 /// but the ordering is not guaranteed by the iteration itself.
+///
+/// `data_seed` starts the subspace block from the k matrix columns with
+/// the largest norms (deterministic, ties by lower index) instead of the
+/// fixed pseudo-random block. Matrix columns already live mostly in the
+/// dominant invariant subspace, so the iteration typically converges in a
+/// fraction of the iterations; the eigenpairs it converges *to* are the
+/// same (up to the exit tolerance), but the trajectory — and therefore
+/// the exact bits at a finite tolerance — differ from the random-seed
+/// run. Keep it off where bit-stability against historical results
+/// matters.
 EigenDecomposition eigen_top_k(const Matrix& m, int k, int max_iters = 300,
-                               double tol = 1e-10);
+                               double tol = 1e-10, bool data_seed = false);
 
 }  // namespace ballfit::linalg

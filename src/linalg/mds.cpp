@@ -79,6 +79,121 @@ double weighted_stress(const Matrix& d, const Matrix& w,
     }
   return s;
 }
+
+/// Exit tests shared by every refine loop (dense, sparse, batched).
+/// Keeping the decision logic in one place is what makes the batch
+/// bit-identical to the single-frame path.
+///
+/// `sweep_done` answers "may the next sweep run?" from the state *between*
+/// sweeps: the budget is spent or the stress already sits at the
+/// `stop_stress` floor (which also catches an init that starts below it).
+bool sweep_done(const SmacofConfig& config, SmacofRunInfo& info) {
+  if (info.sweeps >= config.max_sweeps) return true;
+  if (config.stop_stress > 0.0 && info.final_stress <= config.stop_stress) {
+    info.stress_exit = true;
+    return true;
+  }
+  return false;
+}
+
+/// Records one executed sweep's resulting stress; true → stop refining.
+/// The convergence test is the historical one (improvement below
+/// `rel_tol`); the plateau cap fires on `plateau_sweeps` consecutive
+/// sweeps below the looser `plateau_rel_tol`.
+bool sweep_note(const SmacofConfig& config, SmacofRunInfo& info,
+                int& plateau_run, double next) {
+  ++info.sweeps;
+  const double prev = info.final_stress;
+  const bool converged =
+      next <= prev && (prev - next) <= config.rel_tol * (prev + 1e-30);
+  if (config.plateau_sweeps > 0) {
+    const bool guarded = config.plateau_guard_stress > 0.0 &&
+                         next > config.plateau_guard_stress;
+    const bool small =
+        !guarded && next <= prev &&
+        (prev - next) <= config.plateau_rel_tol * (prev + 1e-30);
+    plateau_run = small ? plateau_run + 1 : 0;
+  }
+  info.final_stress = next;
+  if (converged) return true;
+  if (config.plateau_sweeps > 0 && plateau_run >= config.plateau_sweeps) {
+    info.plateau_exit = true;
+    return true;
+  }
+  return false;
+}
+
+/// One Guttman coordinate-descent sweep over a CSR frame. `x` holds the
+/// frame's points (adjacency entries index into it); `row_begin` holds
+/// m+1 offsets into `adj`/`dist`/`weight` (absolute — the batch shares
+/// one arena across frames).
+void csr_guttman_sweep(geom::Vec3* x, std::size_t m,
+                       const std::uint32_t* row_begin,
+                       const std::uint32_t* adj, const double* dist,
+                       const double* weight) {
+  for (std::size_t i = 0; i < m; ++i) {
+    geom::Vec3 acc{};
+    double wsum = 0.0;
+    const std::uint32_t end = row_begin[i + 1];
+    for (std::uint32_t e = row_begin[i]; e < end; ++e) {
+      const std::size_t j = adj[e];
+      const geom::Vec3 delta = x[i] - x[j];
+      const double len = delta.norm();
+      const geom::Vec3 dir =
+          len > 1e-12 ? delta / len : geom::Vec3{1.0, 0.0, 0.0};
+      acc += (x[j] + dir * dist[e]) * weight[e];
+      wsum += weight[e];
+    }
+    if (wsum > 0.0) x[i] = acc / wsum;
+  }
+}
+
+/// `SmacofConfig::fast_sweep` variant of the transform above: same
+/// coordinate-descent structure and visit order, but the direction
+/// normalization is folded into the target scale (dist/len, one divide
+/// per edge instead of three) and the node update multiplies by the
+/// reciprocal weight sum. Agrees with the legacy kernel to last-ulp
+/// rounding only, so the two are not bit-comparable — callers pick one
+/// per run via the config.
+void csr_guttman_sweep_fast(geom::Vec3* x, std::size_t m,
+                            const std::uint32_t* row_begin,
+                            const std::uint32_t* adj, const double* dist,
+                            const double* weight) {
+  for (std::size_t i = 0; i < m; ++i) {
+    geom::Vec3 acc{};
+    double wsum = 0.0;
+    const std::uint32_t end = row_begin[i + 1];
+    for (std::uint32_t e = row_begin[i]; e < end; ++e) {
+      const std::size_t j = adj[e];
+      const geom::Vec3 delta = x[i] - x[j];
+      const double len2 = delta.norm_sq();
+      const geom::Vec3 step =
+          len2 > 1e-24 ? delta * (dist[e] / std::sqrt(len2))
+                       : geom::Vec3{dist[e], 0.0, 0.0};
+      acc += (x[j] + step) * weight[e];
+      wsum += weight[e];
+    }
+    if (wsum > 0.0) x[i] = acc * (1.0 / wsum);
+  }
+}
+
+/// Weighted stress over a CSR frame, upper-triangle entries only in the
+/// dense loop's (i asc, j asc > i) order — rounding matches the dense
+/// evaluation bit for bit.
+double csr_stress(const geom::Vec3* x, std::size_t m,
+                  const std::uint32_t* row_begin,
+                  const std::uint32_t* upper_begin, const std::uint32_t* adj,
+                  const double* dist, const double* weight) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t end = row_begin[i + 1];
+    for (std::uint32_t e = upper_begin[i]; e < end; ++e) {
+      const double diff = x[i].distance_to(x[adj[e]]) - dist[e];
+      s += weight[e] * diff * diff;
+    }
+  }
+  return s;
+}
 }  // namespace
 
 std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
@@ -86,47 +201,68 @@ std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
                                       std::vector<geom::Vec3> init,
                                       const SmacofConfig& config,
                                       double* final_stress,
-                                      std::vector<double>* stress_trace) {
+                                      std::vector<double>* stress_trace,
+                                      SmacofRunInfo* run_info) {
   const std::size_t n = init.size();
   BALLFIT_REQUIRE(distances.rows() == n && distances.cols() == n,
                   "distance matrix must match point count");
   BALLFIT_REQUIRE(weights.rows() == n && weights.cols() == n,
                   "weight matrix must match point count");
 
-  double stress = weighted_stress(distances, weights, init);
+  SmacofRunInfo info;
+  info.final_stress = weighted_stress(distances, weights, init);
+  int plateau_run = 0;
   if (stress_trace != nullptr) {
     stress_trace->clear();
-    stress_trace->push_back(stress);
+    stress_trace->push_back(info.final_stress);
   }
-  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
-    // Coordinate-descent Guttman transform: each point moves to the
-    // minimizer of its local stress majorizer given the others —
-    // a weighted mean of per-edge target positions. Monotone in stress.
-    for (std::size_t i = 0; i < n; ++i) {
-      geom::Vec3 acc{};
-      double wsum = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        const double wij = weights(i, j);
-        if (wij <= 0.0) continue;
-        const geom::Vec3 delta = init[i] - init[j];
-        const double len = delta.norm();
-        // Target position for x_i on the edge (i,j): x_j + d_ij·direction.
-        const geom::Vec3 dir =
-            len > 1e-12 ? delta / len : geom::Vec3{1.0, 0.0, 0.0};
-        acc += (init[j] + dir * distances(i, j)) * wij;
-        wsum += wij;
+  while (!sweep_done(config, info)) {
+    // `stress_stride` sweeps per evaluation, the last group truncated to
+    // the budget (sweep_note counts the evaluated sweep).
+    const int group = std::min(std::max(1, config.stress_stride),
+                               config.max_sweeps - info.sweeps);
+    for (int g = 0; g < group; ++g) {
+      // Coordinate-descent Guttman transform: each point moves to the
+      // minimizer of its local stress majorizer given the others —
+      // a weighted mean of per-edge target positions. Monotone in stress.
+      // The two kernel variants mirror csr_guttman_sweep{,_fast} operation
+      // for operation, so dense and CSR callers stay bit-identical at
+      // either `fast_sweep` setting.
+      for (std::size_t i = 0; i < n; ++i) {
+        geom::Vec3 acc{};
+        double wsum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double wij = weights(i, j);
+          if (wij <= 0.0) continue;
+          const geom::Vec3 delta = init[i] - init[j];
+          if (config.fast_sweep) {
+            const double len2 = delta.norm_sq();
+            const geom::Vec3 step =
+                len2 > 1e-24 ? delta * (distances(i, j) / std::sqrt(len2))
+                             : geom::Vec3{distances(i, j), 0.0, 0.0};
+            acc += (init[j] + step) * wij;
+          } else {
+            const double len = delta.norm();
+            // Target position for x_i on the edge (i,j):
+            // x_j + d_ij·direction.
+            const geom::Vec3 dir =
+                len > 1e-12 ? delta / len : geom::Vec3{1.0, 0.0, 0.0};
+            acc += (init[j] + dir * distances(i, j)) * wij;
+          }
+          wsum += wij;
+        }
+        if (wsum > 0.0)
+          init[i] = config.fast_sweep ? acc * (1.0 / wsum) : acc / wsum;
       }
-      if (wsum > 0.0) init[i] = acc / wsum;
     }
     const double next = weighted_stress(distances, weights, init);
+    info.sweeps += group - 1;
     if (stress_trace != nullptr) stress_trace->push_back(next);
-    const bool converged =
-        next <= stress && (stress - next) <= config.rel_tol * (stress + 1e-30);
-    stress = next;
-    if (converged) break;
+    if (sweep_note(config, info, plateau_run, next)) break;
   }
-  if (final_stress != nullptr) *final_stress = stress;
+  if (final_stress != nullptr) *final_stress = info.final_stress;
+  if (run_info != nullptr) *run_info = info;
   return init;
 }
 
@@ -183,42 +319,150 @@ double SmacofProblem::stress(const std::vector<geom::Vec3>& x) const {
 
 std::vector<geom::Vec3> SmacofProblem::refine(
     std::vector<geom::Vec3> init, const SmacofConfig& config,
-    double* final_stress, std::vector<double>* stress_trace) const {
+    double* final_stress, std::vector<double>* stress_trace,
+    SmacofRunInfo* run_info) const {
   BALLFIT_REQUIRE(init.size() == n_, "point count must match the problem");
 
-  double st = stress(init);
+  SmacofRunInfo info;
+  info.final_stress = stress(init);
+  int plateau_run = 0;
   if (stress_trace != nullptr) {
     stress_trace->clear();
-    stress_trace->push_back(st);
+    stress_trace->push_back(info.final_stress);
   }
-  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+  while (!sweep_done(config, info)) {
     // The same coordinate-descent Guttman transform as `smacof_refine`,
     // visiting only the measured partners of each point (CSR row, ascending
     // — the dense loop's order over its positive-weight entries).
-    for (std::size_t i = 0; i < n_; ++i) {
-      geom::Vec3 acc{};
-      double wsum = 0.0;
-      const std::uint32_t end = row_begin_[i + 1];
-      for (std::uint32_t e = row_begin_[i]; e < end; ++e) {
-        const std::size_t j = adj_[e];
-        const geom::Vec3 delta = init[i] - init[j];
-        const double len = delta.norm();
-        const geom::Vec3 dir =
-            len > 1e-12 ? delta / len : geom::Vec3{1.0, 0.0, 0.0};
-        acc += (init[j] + dir * dist_[e]) * weight_[e];
-        wsum += weight_[e];
-      }
-      if (wsum > 0.0) init[i] = acc / wsum;
-    }
+    const int group = std::min(std::max(1, config.stress_stride),
+                               config.max_sweeps - info.sweeps);
+    for (int g = 0; g < group; ++g)
+      (config.fast_sweep ? csr_guttman_sweep_fast : csr_guttman_sweep)(
+          init.data(), n_, row_begin_.data(), adj_.data(), dist_.data(),
+          weight_.data());
     const double next = stress(init);
+    info.sweeps += group - 1;
     if (stress_trace != nullptr) stress_trace->push_back(next);
-    const bool converged =
-        next <= st && (st - next) <= config.rel_tol * (st + 1e-30);
-    st = next;
-    if (converged) break;
+    if (sweep_note(config, info, plateau_run, next)) break;
   }
-  if (final_stress != nullptr) *final_stress = st;
+  if (final_stress != nullptr) *final_stress = info.final_stress;
+  if (run_info != nullptr) *run_info = info;
   return init;
+}
+
+void SmacofBatch::clear() {
+  frames_.clear();
+  points_.clear();
+  row_begin_.clear();
+  upper_begin_.clear();
+  adj_.clear();
+  dist_.clear();
+  weight_.clear();
+}
+
+std::size_t SmacofBatch::add(const Matrix& distances, const Matrix& weights,
+                             const std::vector<geom::Vec3>& init,
+                             const SmacofConfig& config) {
+  const std::size_t m = init.size();
+  BALLFIT_REQUIRE(distances.rows() == m && distances.cols() == m,
+                  "distance matrix must match point count");
+  BALLFIT_REQUIRE(weights.rows() == m && weights.cols() == m,
+                  "weight matrix must match point count");
+  FrameState f;
+  f.point_begin = static_cast<std::uint32_t>(points_.size());
+  f.num_points = static_cast<std::uint32_t>(m);
+  f.row_begin = static_cast<std::uint32_t>(row_begin_.size());
+  f.config = config;
+  points_.insert(points_.end(), init.begin(), init.end());
+  // Same extraction as SmacofProblem::assign, appended to the shared
+  // arena; offsets stay absolute, adjacency stays frame-local.
+  for (std::size_t i = 0; i < m; ++i) {
+    row_begin_.push_back(static_cast<std::uint32_t>(adj_.size()));
+    bool saw_upper = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      const double wij = weights(i, j);
+      if (wij <= 0.0) continue;
+      if (j > i && !saw_upper) {
+        upper_begin_.push_back(static_cast<std::uint32_t>(adj_.size()));
+        saw_upper = true;
+      }
+      adj_.push_back(static_cast<std::uint32_t>(j));
+      dist_.push_back(distances(i, j));
+      weight_.push_back(wij);
+    }
+    if (!saw_upper)
+      upper_begin_.push_back(static_cast<std::uint32_t>(adj_.size()));
+  }
+  row_begin_.push_back(static_cast<std::uint32_t>(adj_.size()));
+  // Pad so row_begin_ and upper_begin_ share the same m+1 stride and a
+  // frame's slices of both start at the same offset.
+  upper_begin_.push_back(static_cast<std::uint32_t>(adj_.size()));
+  frames_.push_back(f);
+  return frames_.size() - 1;
+}
+
+std::size_t SmacofBatch::num_edges(std::size_t slot) const {
+  const FrameState& f = frames_[slot];
+  std::size_t edges = 0;
+  for (std::uint32_t r = 0; r < f.num_points; ++r)
+    edges += row_begin_[f.row_begin + r + 1] - upper_begin_[f.row_begin + r];
+  return edges;
+}
+
+void SmacofBatch::refine_all() {
+  std::size_t active = 0;
+  for (FrameState& f : frames_) {
+    f.info = SmacofRunInfo{};
+    f.info.final_stress = csr_stress(
+        points_.data() + f.point_begin, f.num_points,
+        row_begin_.data() + f.row_begin, upper_begin_.data() + f.row_begin,
+        adj_.data(), dist_.data(), weight_.data());
+    f.plateau_run = 0;
+    f.active = true;
+    ++active;
+  }
+  // Every live frame advances one evaluation group (`stress_stride`
+  // sweeps, budget-truncated) per outer round, streaming through the
+  // shared arena front to back; a frame freezes the moment its own exit
+  // condition fires — the identical sweep count and arithmetic it would
+  // see running alone through SmacofProblem::refine.
+  while (active > 0) {
+    for (FrameState& f : frames_) {
+      if (!f.active) continue;
+      if (sweep_done(f.config, f.info)) {
+        f.active = false;
+        --active;
+        continue;
+      }
+      geom::Vec3* x = points_.data() + f.point_begin;
+      const int group = std::min(std::max(1, f.config.stress_stride),
+                                 f.config.max_sweeps - f.info.sweeps);
+      for (int g = 0; g < group; ++g)
+        (f.config.fast_sweep ? csr_guttman_sweep_fast : csr_guttman_sweep)(
+            x, f.num_points, row_begin_.data() + f.row_begin, adj_.data(),
+            dist_.data(), weight_.data());
+      const double next =
+          csr_stress(x, f.num_points, row_begin_.data() + f.row_begin,
+                     upper_begin_.data() + f.row_begin, adj_.data(),
+                     dist_.data(), weight_.data());
+      f.info.sweeps += group - 1;
+      if (sweep_note(f.config, f.info, f.plateau_run, next)) {
+        f.active = false;
+        --active;
+      }
+    }
+  }
+}
+
+const SmacofRunInfo& SmacofBatch::info(std::size_t slot) const {
+  return frames_[slot].info;
+}
+
+std::vector<geom::Vec3> SmacofBatch::take_coords(std::size_t slot) const {
+  const FrameState& f = frames_[slot];
+  const geom::Vec3* x = points_.data() + f.point_begin;
+  return std::vector<geom::Vec3>(x, x + f.num_points);
 }
 
 }  // namespace ballfit::linalg

@@ -48,6 +48,58 @@ struct SmacofConfig {
   int max_sweeps = 60;
   /// Stop when the relative stress improvement per sweep drops below this.
   double rel_tol = 1e-10;
+  /// Absolute stress floor (weighted-stress units, i.e. squared length ×
+  /// weight summed over measured pairs): refinement exits before the next
+  /// sweep once the stress is at or below this value. The localization
+  /// layer sets it to the noise-consistent `accept_stress`, at which point
+  /// further sweeps only polish ranging noise. 0 disables (the historical
+  /// run-to-budget behavior).
+  double stop_stress = 0.0;
+  /// Plateau cap: exit after this many *consecutive* sweeps whose relative
+  /// stress improvement stays below `plateau_rel_tol` (a much looser bar
+  /// than `rel_tol`, which detects full convergence). 0 disables.
+  int plateau_sweeps = 0;
+  /// Relative improvement (Δstress / stress) below which a sweep counts
+  /// toward the plateau run. Dimensionless; meaningful only with
+  /// `plateau_sweeps` > 0.
+  double plateau_rel_tol = 0.0;
+  /// Plateau guard (absolute stress, same units as `stop_stress`): sweeps
+  /// count toward the plateau run only while the stress is at or below
+  /// this value. A refinement stalled far above the floor is a fold-over
+  /// still unfolding, not a converged fit — it must keep sweeping toward
+  /// the budget. 0 disables the guard (every slow sweep counts).
+  double plateau_guard_stress = 0.0;
+  /// Use the division-light Guttman kernel: one divide per edge
+  /// (dist/len, folding the direction normalization into the target
+  /// scale) and a reciprocal-multiply node update, instead of the
+  /// legacy per-component divisions. Last-ulp rounding differs from the
+  /// legacy kernel, so runs with different `fast_sweep` values are NOT
+  /// bit-comparable; with the *same* value the sweep stays a pure
+  /// function of (init, CSR, config) — per-node, blocked, and dense
+  /// callers agree bit for bit as before. Off by default (the legacy
+  /// kernel); the dense and CSR sweeps both honor it.
+  bool fast_sweep = false;
+  /// Evaluate the stress every this-many Guttman sweeps (count, ≥ 1)
+  /// instead of after each one. The stress pass costs a sqrt per measured
+  /// pair — a third of the sweep loop — and exists only to drive the exit
+  /// checks, so coarser evaluation trades exit granularity (exits land on
+  /// a stride boundary; `rel_tol`/`plateau_rel_tol` see the improvement
+  /// accumulated across the stride; `plateau_sweeps` counts evaluations)
+  /// for throughput. The sweep budget is still exact: the final group is
+  /// truncated so exactly `max_sweeps` sweeps run. Values > 1 are not
+  /// bit-comparable to stride-1 runs; with the same value the run remains
+  /// a pure function of (init, problem, config).
+  int stress_stride = 1;
+};
+
+/// How one refinement run exited and how much effort it spent. All exits
+/// happen between sweeps, so the reported final stress is always the true
+/// stress of the returned coordinates.
+struct SmacofRunInfo {
+  int sweeps = 0;             ///< Guttman sweeps actually executed.
+  bool stress_exit = false;   ///< Stopped at the `stop_stress` floor.
+  bool plateau_exit = false;  ///< Stopped by the plateau cap.
+  double final_stress = 0.0;  ///< Weighted stress at exit.
 };
 
 /// Weighted stress majorization (SMACOF, coordinate-descent form) starting
@@ -74,13 +126,15 @@ struct SmacofConfig {
 /// `SmacofProblem`, which precomputes the measured-edge adjacency once and
 /// sweeps in O(m·deg) — with bit-identical results (the equivalence is
 /// asserted by tests/localization_equivalence_test.cpp).
+/// `run_info`, when non-null, receives the exit reason and sweep count.
 std::vector<geom::Vec3> smacof_refine(const Matrix& distances,
                                       const Matrix& weights,
                                       std::vector<geom::Vec3> init,
                                       const SmacofConfig& config = {},
                                       double* final_stress = nullptr,
                                       std::vector<double>* stress_trace =
-                                          nullptr);
+                                          nullptr,
+                                      SmacofRunInfo* run_info = nullptr);
 
 /// Sparse SMACOF: the positive-weight (= measured) entries of a
 /// (distances, weights) pair, extracted once into a CSR structure so every
@@ -117,13 +171,13 @@ class SmacofProblem {
   double stress(const std::vector<geom::Vec3>& x) const;
 
   /// Coordinate-descent stress majorization from `init`; semantics of
-  /// `config`, `final_stress`, and `stress_trace` exactly as in
-  /// `smacof_refine`.
+  /// `config`, `final_stress`, `stress_trace`, and `run_info` exactly as
+  /// in `smacof_refine`.
   std::vector<geom::Vec3> refine(std::vector<geom::Vec3> init,
                                  const SmacofConfig& config = {},
                                  double* final_stress = nullptr,
-                                 std::vector<double>* stress_trace =
-                                     nullptr) const;
+                                 std::vector<double>* stress_trace = nullptr,
+                                 SmacofRunInfo* run_info = nullptr) const;
 
  private:
   std::size_t n_ = 0;
@@ -133,6 +187,69 @@ class SmacofProblem {
   /// First entry of row i with partner index > i (== row end when none);
   /// the stress sum visits only these to count each pair once, in the
   /// dense loop's (i asc, j asc > i) order.
+  std::vector<std::uint32_t> upper_begin_;
+  std::vector<std::uint32_t> adj_;
+  std::vector<double> dist_;
+  std::vector<double> weight_;
+};
+
+/// Several frames' sparse SMACOF problems packed into one structure-of-
+/// arrays batch and swept together: points, CSR adjacency, distances, and
+/// weights of all frames live in shared contiguous arrays, and the sweep
+/// loop streams across frames back to back instead of bouncing between
+/// per-frame objects.
+///
+/// Each frame keeps its own `SmacofConfig` and its own exit condition
+/// (budget, convergence, plateau, stress floor) — a frame that finishes is
+/// frozen while the rest keep sweeping. Per frame the arithmetic and its
+/// order are exactly `SmacofProblem::refine`, so every frame's result is
+/// bit-identical to refining it alone (asserted by
+/// tests/localization_equivalence_test.cpp).
+///
+/// `clear()` + `add()` reuse the internal buffers, so a thread-local batch
+/// is allocation-free in steady state.
+class SmacofBatch {
+ public:
+  /// Empties the batch, keeping buffer capacity.
+  void clear();
+
+  /// Appends one frame's problem (positive-weight entries of
+  /// (distances, weights), starting coordinates, per-frame config) and
+  /// returns its slot index.
+  std::size_t add(const Matrix& distances, const Matrix& weights,
+                  const std::vector<geom::Vec3>& init,
+                  const SmacofConfig& config);
+
+  std::size_t size() const { return frames_.size(); }
+  /// Measured unordered pairs of the frame in `slot`.
+  std::size_t num_edges(std::size_t slot) const;
+
+  /// Runs every frame to its own exit condition. May be called once per
+  /// fill; `info`/`take_coords` are valid afterwards.
+  void refine_all();
+
+  /// Exit reason / effort / final stress of the frame in `slot`.
+  const SmacofRunInfo& info(std::size_t slot) const;
+  /// Copies the refined coordinates of the frame in `slot` out of the
+  /// batch arena.
+  std::vector<geom::Vec3> take_coords(std::size_t slot) const;
+
+ private:
+  struct FrameState {
+    std::uint32_t point_begin = 0;  ///< into points_
+    std::uint32_t num_points = 0;
+    std::uint32_t row_begin = 0;  ///< into row_begin_ (m+1 entries)
+    SmacofConfig config;
+    SmacofRunInfo info;
+    int plateau_run = 0;
+    bool active = false;
+  };
+
+  std::vector<FrameState> frames_;
+  std::vector<geom::Vec3> points_;
+  /// Concatenated per-frame CSR; row offsets are absolute into adj_, and
+  /// adjacency entries are frame-local point indices.
+  std::vector<std::uint32_t> row_begin_;
   std::vector<std::uint32_t> upper_begin_;
   std::vector<std::uint32_t> adj_;
   std::vector<double> dist_;

@@ -1,9 +1,11 @@
 #include "localization/local_frame.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <unordered_map>
 
 #include "common/assert.hpp"
@@ -13,6 +15,7 @@
 #include "linalg/eigen.hpp"
 #include "linalg/mds.hpp"
 #include "linalg/procrustes.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ballfit::localization {
@@ -22,6 +25,19 @@ using net::NodeId;
 namespace {
 
 constexpr double kMissing = std::numeric_limits<double>::infinity();
+
+/// A frame waiting for its block's batched refinement: the assembled
+/// member set plus its slot in the SmacofBatch and the stress gate the
+/// result is judged against afterwards (warm acceptance at kFast,
+/// restart-loop acceptance in the blocked cold build).
+struct PendingWarm {
+  NodeId node = 0;
+  LocalFrame frame;
+  std::size_t slot = 0;
+  std::size_t pairs = 0;
+  double gate = 0.0;
+  int budget = 0;
+};
 
 /// Per-thread scratch arena for the frame builders. Every matrix/vector a
 /// frame build needs lives here and is re-shaped (not re-allocated) per
@@ -43,6 +59,16 @@ struct LocScratch {
   std::vector<std::uint32_t> comp_begin;
   std::vector<std::uint32_t> comp_adj;
   std::vector<double> comp_dist;
+  std::vector<char> comp_dirty;  // rows whose d changed since their last scan
+  // Warm-start path: per-block SMACOF batch, warm init under construction,
+  // member coverage flags, Procrustes anchor pairs, and the block's
+  // pending frames.
+  linalg::SmacofBatch batch;
+  std::vector<geom::Vec3> init;
+  std::vector<char> covered;
+  std::vector<geom::Vec3> anchor_src;
+  std::vector<geom::Vec3> anchor_tgt;
+  std::vector<PendingWarm> pending;
 };
 
 LocScratch& scratch() {
@@ -51,20 +77,26 @@ LocScratch& scratch() {
 }
 
 /// Fills d (m×m, `kMissing` off-diagonal default) and w (m×m zeros) with
-/// the measured distance of every member pair that is a radio edge.
+/// the measured distance of every member pair that is a radio edge, and
+/// returns the number of measured unordered pairs.
 /// Requires `slot` to map members[a] → a for exactly the current members.
 ///
 /// The cache path walks each member's network adjacency row (O(Σ deg))
 /// instead of testing all O(m²) pairs; both endpoints write the same
 /// cached value, so the result is symmetric and bit-identical to the
 /// model-query path.
-void fill_measured_pairs(const net::Network& net,
-                         const net::NoisyDistanceModel& model,
-                         const net::EdgeMeasurementCache* cache,
-                         const std::vector<NodeId>& members,
-                         const EpochSlotMap& slot, linalg::Matrix& d,
-                         linalg::Matrix& w) {
+struct MeasuredPairs {
+  std::size_t pairs = 0;  ///< measured unordered pairs
+};
+
+MeasuredPairs fill_measured_pairs(const net::Network& net,
+                                  const net::NoisyDistanceModel& model,
+                                  const net::EdgeMeasurementCache* cache,
+                                  const std::vector<NodeId>& members,
+                                  const EpochSlotMap& slot, linalg::Matrix& d,
+                                  linalg::Matrix& w) {
   const std::size_t m = members.size();
+  MeasuredPairs mp;
   d.resize(m, m, kMissing);
   w.resize(m, m, 0.0);
   for (std::size_t a = 0; a < m; ++a) d(a, a) = 0.0;
@@ -77,6 +109,7 @@ void fill_measured_pairs(const net::Network& net,
         if (b == EpochSlotMap::kNotFound) continue;
         d(a, b) = meas[t];
         w(a, b) = 1.0;
+        mp.pairs += b > a;  // each radio edge is visited from both ends
       }
     }
   } else {
@@ -86,8 +119,96 @@ void fill_measured_pairs(const net::Network& net,
         const double meas = model.measured_distance(members[a], members[b]);
         d(a, b) = d(b, a) = meas;
         w(a, b) = w(b, a) = 1.0;
+        ++mp.pairs;
       }
   }
+  return mp;
+}
+
+/// Adaptive stress floor of a measured-pair set: at the true configuration
+/// the expected residual per pair is Var[d̂−d] = (e·R)²/3 for the
+/// Uniform(−e·R, e·R) ranging noise, so `floor_factor` = 1 stops at the
+/// noise-consistent level. SMACOF overfits part of the noise (it spends
+/// ~3m coordinate DOF on ~deg·m/2 residuals), so matching the legacy
+/// full-budget refinement requires a factor below 1 — see
+/// `LocalizerConfig::adaptive_floor`. The 1e-9·pairs term keeps the floor
+/// positive (and the stress exit reachable) at e = 0, where refinement
+/// runs to numerical exactness.
+double noise_floor_stress(double error_abs, double floor_factor,
+                          const MeasuredPairs& mp) {
+  const double per_pair = (error_abs * error_abs / 3.0) * floor_factor + 1e-9;
+  return static_cast<double>(mp.pairs) * per_pair;
+}
+
+namespace {
+
+/// Configures the optimized-tier sweep behavior of one frame's SMACOF run
+/// from the localizer knobs: the division-light Guttman kernel at every
+/// non-bitwise tier, plus the adaptive exits when those are enabled. The
+/// plateau guard is expressed in noise-floor units (not `stop_stress`
+/// units) so plateau exits stay armed when the stress floor is disabled —
+/// `adaptive_floor` ≤ 0 leaves `stop_stress` at 0 and the run exits only
+/// on plateau or budget. Shared by the per-node, blocked, and warm
+/// builders so all three hand `SmacofBatch` / `SmacofProblem` the same
+/// contract (the per-frame purity the default tier guarantees).
+void set_adaptive_exits(const LocalizerConfig& cfg, double error_abs,
+                        const MeasuredPairs& mp, linalg::SmacofConfig& sc) {
+  if (cfg.tier == EquivalenceTier::kBitwise) return;
+  sc.fast_sweep = true;
+  sc.stress_stride = cfg.stress_stride;
+  if (!cfg.adaptive_active()) return;
+  if (cfg.adaptive_floor > 0.0)
+    sc.stop_stress = noise_floor_stress(error_abs, cfg.adaptive_floor, mp);
+  sc.plateau_sweeps = cfg.plateau_sweeps;
+  sc.plateau_rel_tol = cfg.plateau_rel_tol;
+  sc.plateau_guard_stress =
+      cfg.plateau_guard * noise_floor_stress(error_abs, 1.0, mp);
+}
+
+}  // namespace
+
+/// Gathers node i's two-hop member set — {i} ∪ N(i) followed by the
+/// sorted N²(i) tail — into `frame` and leaves `s.slot` mapping
+/// members[a] → a. When the one-hop count lands under 4 the gather stops
+/// early (degenerate frame; the caller decides). Shared by the cold
+/// MDS-MAP builder and the warm-start scheduler so both assemble the
+/// exact same member sets.
+void gather_two_hop_members(const net::Network& net,
+                            const std::vector<char>* alive, NodeId i,
+                            LocalFrame& frame, LocScratch& s) {
+  frame.members.push_back(i);
+  const auto nb = net.neighbors(i);
+  for (NodeId v : nb) {
+    if (alive != nullptr && (*alive)[v] == 0) continue;  // crashed: silent
+    frame.members.push_back(v);
+  }
+  frame.one_hop_count = frame.members.size();
+  if (frame.one_hop_count < 4) return;
+
+  // Two-hop tail, sorted for determinism. The epoch-stamped slot map
+  // doubles as the dedup set and, once the tail is appended, as the
+  // node-id → member-slot index the measured-pair fill needs.
+  s.slot.reset_universe(net.num_nodes());
+  s.slot.clear();
+  for (std::size_t a = 0; a < frame.members.size(); ++a)
+    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
+  s.tail.clear();
+  for (NodeId j : nb) {
+    // A dead neighbor neither relays its one-hop frame nor appears in it.
+    if (alive != nullptr && (*alive)[j] == 0) continue;
+    for (NodeId u : net.neighbors(j)) {
+      if (alive != nullptr && (*alive)[u] == 0) continue;
+      if (s.slot.insert(u, 0)) s.tail.push_back(u);
+    }
+  }
+  std::sort(s.tail.begin(), s.tail.end());
+  frame.members.insert(frame.members.end(), s.tail.begin(), s.tail.end());
+  // Re-stamp every member with its final slot (the tail got placeholder
+  // values before sorting). `insert` skips present keys, so overwrite
+  // through a fresh epoch.
+  s.slot.clear();
+  for (std::size_t a = 0; a < frame.members.size(); ++a)
+    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
 }
 
 }  // namespace
@@ -101,8 +222,8 @@ Localizer::Localizer(const net::Network& network,
   if (config_.use_edge_cache) edge_cache_.emplace(model);
 }
 
-LocalFrame Localizer::local_frame(NodeId i,
-                                  const std::vector<char>* alive) const {
+LocalFrame Localizer::local_frame(NodeId i, const std::vector<char>* alive,
+                                  FrameBuildStats* effort) const {
   BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
 
   LocalFrame frame;
@@ -174,14 +295,14 @@ LocalFrame Localizer::local_frame(NodeId i,
       init[r] = {c[0], c[1], c[2]};
     }
     frame.coords = refine_embedding(d, w, std::move(init), i, 0,
-                                    &frame.stress_rms);
+                                    &frame.stress_rms, effort);
     frame.ok = true;
     // embed_residual needs λ₄, which the top-k path does not compute; it
     // stays 0 (nothing downstream consumes it).
   } else {
     linalg::MdsResult mds = linalg::classical_mds(d, 3);
     frame.coords = refine_embedding(d, w, std::move(mds.coords), i, 0,
-                                    &frame.stress_rms);
+                                    &frame.stress_rms, effort);
     frame.ok = mds.converged;
     if (mds.gram_eigenvalues.size() >= 4 && mds.gram_eigenvalues[2] > 1e-12) {
       frame.embed_residual =
@@ -194,18 +315,10 @@ LocalFrame Localizer::local_frame(NodeId i,
 std::vector<geom::Vec3> Localizer::refine_embedding(
     const linalg::Matrix& d, const linalg::Matrix& w,
     std::vector<geom::Vec3> init, NodeId node, int sweeps_override,
-    double* stress_rms) const {
+    double* stress_rms, FrameBuildStats* effort,
+    const std::vector<geom::Vec3>* attempt0, double attempt0_stress) const {
   if (config_.smacof_sweeps <= 0) return init;
   const std::size_t m = init.size();
-
-  // Stress majorization over measured pairs removes the completion bias of
-  // the classical-MDS init (path lengths overestimate). With exact
-  // measurements the true configuration has zero stress, so a result above
-  // the noise-consistent stress level is a fold-over local minimum and
-  // worth retrying from a perturbed init.
-  linalg::SmacofConfig sc;
-  sc.max_sweeps =
-      sweeps_override > 0 ? sweeps_override : config_.smacof_sweeps;
 
   // Sparse path: extract the measured edges into CSR once, so each restart
   // and each sweep costs O(edges) instead of a dense m² matrix scan. The
@@ -225,9 +338,21 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
   }
   const double e = model_->error_fraction() * network_->radio_range();
   // E[(d̂−d)²] = e²/3 for Uniform(−e, e) noise; the embedding residual per
-  // pair should not exceed that noise floor by much.
+  // pair should not exceed that noise floor by much. The 1.5 factor is
+  // the historical restart-acceptance level — part of the kBitwise
+  // contract (and replicated by the blocked builder), do not retune.
   const double accept_stress =
-      static_cast<double>(measured_pairs) * ((e * e / 3.0) * 1.5 + 1e-9);
+      noise_floor_stress(e, 1.5, MeasuredPairs{measured_pairs});
+
+  // Stress majorization over measured pairs removes the completion bias of
+  // the classical-MDS init (path lengths overestimate). With exact
+  // measurements the true configuration has zero stress, so a result above
+  // the noise-consistent stress level is a fold-over local minimum and
+  // worth retrying from a perturbed init.
+  linalg::SmacofConfig sc;
+  sc.max_sweeps =
+      sweeps_override > 0 ? sweeps_override : config_.smacof_sweeps;
+  set_adaptive_exits(config_, e, MeasuredPairs{measured_pairs}, sc);
 
   double best_stress = std::numeric_limits<double>::infinity();
   std::vector<geom::Vec3> best;
@@ -238,8 +363,21 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
       config_.restart_seed ^
       (static_cast<std::uint64_t>(network_->external_id(node)) *
        0x9e3779b97f4a7c15ULL));
-  for (int attempt = 0; attempt < std::max(1, config_.smacof_restarts);
-       ++attempt) {
+  const int max_attempts = std::max(1, config_.smacof_restarts);
+  int attempts = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt == 0 && attempt0 != nullptr) {
+      // First attempt already executed by the caller (blocked batch);
+      // adopt its result — the effort was accounted there. The restart
+      // RNG stream is untouched, so later attempts draw exactly what the
+      // monolithic loop would have drawn.
+      ++attempts;
+      best_stress = attempt0_stress;
+      best = *attempt0;
+      if (best_stress <= accept_stress) break;
+      continue;
+    }
+    ++attempts;
     std::vector<geom::Vec3> start = init;
     if (attempt > 0) {
       const double jitter = 0.25 * network_->radio_range();
@@ -250,16 +388,27 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
       }
     }
     double stress = 0.0;
-    auto refined =
-        problem != nullptr
-            ? problem->refine(std::move(start), sc, &stress)
-            : linalg::smacof_refine(d, w, std::move(start), sc, &stress);
+    linalg::SmacofRunInfo run;
+    auto refined = problem != nullptr
+                       ? problem->refine(std::move(start), sc, &stress,
+                                         nullptr, &run)
+                       : linalg::smacof_refine(d, w, std::move(start), sc,
+                                               &stress, nullptr, &run);
+    if (effort != nullptr) {
+      effort->sweeps_executed += static_cast<std::uint64_t>(run.sweeps);
+      effort->sweep_budget += static_cast<std::uint64_t>(sc.max_sweeps);
+      effort->plateau_exits += run.plateau_exit;
+      effort->stress_exits += run.stress_exit;
+    }
     if (stress < best_stress) {
       best_stress = stress;
       best = std::move(refined);
     }
     if (best_stress <= accept_stress) break;
   }
+  if (effort != nullptr && best_stress <= accept_stress)
+    effort->restarts_skipped +=
+        static_cast<std::uint64_t>(max_attempts - attempts);
   if (stress_rms != nullptr) {
     *stress_rms = measured_pairs == 0
                       ? 0.0
@@ -269,56 +418,27 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
   return best;
 }
 
-LocalFrame Localizer::mdsmap_frame(NodeId i,
-                                   const std::vector<char>* alive) const {
+bool Localizer::mdsmap_init(NodeId i, const std::vector<char>* alive,
+                            LocalFrame& frame, std::vector<geom::Vec3>& init,
+                            std::size_t& measured_pairs) const {
   BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
 
-  LocalFrame frame;
-  frame.members.push_back(i);
-  const auto nb = network_->neighbors(i);
-  for (NodeId v : nb) {
-    if (alive != nullptr && (*alive)[v] == 0) continue;  // crashed: silent
-    frame.members.push_back(v);
-  }
-  frame.one_hop_count = frame.members.size();
+  LocScratch& s = scratch();
+  gather_two_hop_members(*network_, alive, i, frame, s);
 
   if (frame.one_hop_count < 4) {
     frame.ok = false;
     frame.coords.assign(frame.members.size(), {});
-    return frame;
+    return false;
   }
-
-  // Two-hop tail, sorted for determinism. The epoch-stamped slot map
-  // doubles as the dedup set and, once the tail is appended, as the
-  // node-id → member-slot index the measured-pair fill needs.
-  LocScratch& s = scratch();
-  s.slot.reset_universe(network_->num_nodes());
-  s.slot.clear();
-  for (std::size_t a = 0; a < frame.members.size(); ++a)
-    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
-  s.tail.clear();
-  for (NodeId j : nb) {
-    // A dead neighbor neither relays its one-hop frame nor appears in it.
-    if (alive != nullptr && (*alive)[j] == 0) continue;
-    for (NodeId u : network_->neighbors(j)) {
-      if (alive != nullptr && (*alive)[u] == 0) continue;
-      if (s.slot.insert(u, 0)) s.tail.push_back(u);
-    }
-  }
-  std::sort(s.tail.begin(), s.tail.end());
-  frame.members.insert(frame.members.end(), s.tail.begin(), s.tail.end());
   const std::size_t m = frame.members.size();
-  // Re-stamp every member with its final slot (the tail got placeholder
-  // values before sorting). `insert` skips present keys, so overwrite
-  // through a fresh epoch.
-  s.slot.clear();
-  for (std::size_t a = 0; a < m; ++a)
-    s.slot.insert(frame.members[a], static_cast<std::uint32_t>(a));
 
   // Measured distances for adjacent member pairs.
-  fill_measured_pairs(*network_, *model_,
-                      edge_cache_ ? &*edge_cache_ : nullptr, frame.members,
-                      s.slot, s.d, s.w);
+  measured_pairs =
+      fill_measured_pairs(*network_, *model_,
+                          edge_cache_ ? &*edge_cache_ : nullptr,
+                          frame.members, s.slot, s.d, s.w)
+          .pairs;
   linalg::Matrix& d = s.d;
   linalg::Matrix& w = s.w;
 
@@ -343,9 +463,20 @@ LocalFrame Localizer::mdsmap_frame(NodeId i,
     }
     s.comp_begin[m] = static_cast<std::uint32_t>(s.comp_adj.size());
     // Each round extends known distances by one measured edge; three
-    // rounds cover the 4-hop patch diameter.
+    // rounds cover the 4-hop patch diameter. The edge lengths are static
+    // (pre-completion CSR copies), so a row's pass reads only its own d
+    // row — rescanning a row whose d entries did not change since its
+    // last scan began recomputes the exact same candidates and writes
+    // nothing. Skipping such rows (and a round with no dirty rows left)
+    // is therefore bit-identical at every tier; dense patches usually
+    // finish in one round, and later rounds touch only the few rows the
+    // previous one lowered.
+    s.comp_dirty.assign(m, 1);
     for (int round = 0; round < 3; ++round) {
-      for (std::size_t a = 0; a < m; ++a)
+      bool changed = false;
+      for (std::size_t a = 0; a < m; ++a) {
+        if (!s.comp_dirty[a]) continue;
+        s.comp_dirty[a] = 0;
         for (std::size_t k = 0; k < m; ++k) {
           const double dak = d(a, k);
           if (dak == kMissing) continue;
@@ -353,9 +484,15 @@ LocalFrame Localizer::mdsmap_frame(NodeId i,
           for (std::uint32_t e = s.comp_begin[k]; e < end; ++e) {
             const std::size_t b = s.comp_adj[e];
             const double cand = dak + s.comp_dist[e];
-            if (cand < d(a, b)) d(a, b) = d(b, a) = cand;
+            if (cand < d(a, b)) {
+              d(a, b) = d(b, a) = cand;
+              s.comp_dirty[a] = s.comp_dirty[b] = 1;
+              changed = true;
+            }
           }
         }
+      }
+      if (!changed) break;
     }
   }
   const double fallback =
@@ -365,11 +502,18 @@ LocalFrame Localizer::mdsmap_frame(NodeId i,
       if (d(a, b) == kMissing) d(a, b) = fallback;
 
   // Classical MDS init from the top-3 eigenpairs of the centered Gram
-  // matrix, then measured-pair stress majorization.
+  // matrix. kBitwise keeps the pre-warm-start subspace budget; the
+  // optimized tiers stop at `mds_eigen_iters`/`mds_eigen_tol` — the
+  // measured-pair refinement reshapes the init long before full eigen
+  // convergence would pay for itself (at the historical budget the
+  // subspace iteration is over a third of the whole frame build).
   linalg::double_center_into(d, s.gram);
-  const linalg::EigenDecomposition eig =
-      linalg::eigen_top_k(s.gram, 3, /*max_iters=*/60, /*tol=*/1e-6);
-  std::vector<geom::Vec3> init(m);
+  const bool full_eigen = config_.tier == EquivalenceTier::kBitwise;
+  const linalg::EigenDecomposition eig = linalg::eigen_top_k(
+      s.gram, 3, full_eigen ? 60 : config_.mds_eigen_iters,
+      full_eigen ? 1e-6 : config_.mds_eigen_tol,
+      /*data_seed=*/!full_eigen);
+  init.resize(m);
   for (std::size_t r = 0; r < m; ++r) {
     double c[3] = {0.0, 0.0, 0.0};
     for (int k = 0; k < 3; ++k) {
@@ -378,12 +522,38 @@ LocalFrame Localizer::mdsmap_frame(NodeId i,
     }
     init[r] = {c[0], c[1], c[2]};
   }
-  frame.coords = refine_embedding(d, w, std::move(init), i,
-                                  config_.mdsmap_sweeps, &frame.stress_rms);
+  return true;
+}
+
+LocalFrame Localizer::mdsmap_frame(NodeId i, const std::vector<char>* alive,
+                                   FrameBuildStats* effort) const {
+  LocalFrame frame;
+  std::vector<geom::Vec3> init;
+  std::size_t measured_pairs = 0;
+  if (!mdsmap_init(i, alive, frame, init, measured_pairs)) return frame;
+  // Measured-pair stress majorization on the scratch system the init
+  // stage left behind (still this thread's, untouched since).
+  LocScratch& s = scratch();
+  frame.coords =
+      refine_embedding(s.d, s.w, std::move(init), i, config_.mdsmap_sweeps,
+                       &frame.stress_rms, effort);
   frame.ok = true;
-  if (eig.values.size() >= 3 && eig.values[2] > 1e-12) {
-    frame.embed_residual = 0.0;  // not meaningful for top-k decomposition
-  }
+  return frame;
+}
+
+LocalFrame Localizer::mdsmap_frame_resume(
+    NodeId i, const std::vector<char>* alive,
+    const std::vector<geom::Vec3>& attempt0, double attempt0_stress,
+    FrameBuildStats* effort) const {
+  LocalFrame frame;
+  std::vector<geom::Vec3> init;
+  std::size_t measured_pairs = 0;
+  if (!mdsmap_init(i, alive, frame, init, measured_pairs)) return frame;
+  LocScratch& s = scratch();
+  frame.coords = refine_embedding(s.d, s.w, std::move(init), i,
+                                  config_.mdsmap_sweeps, &frame.stress_rms,
+                                  effort, &attempt0, attempt0_stress);
+  frame.ok = true;
   return frame;
 }
 
@@ -553,10 +723,388 @@ double Localizer::frame_rms_error(const LocalFrame& frame) const {
   return linalg::procrustes_align(frame.coords, truth).rms_error;
 }
 
+namespace {
+
+/// Lock-free accumulator for `FrameBuildStats` across worker threads.
+struct AtomicFrameStats {
+  std::atomic<std::uint64_t> frames_built{0};
+  std::atomic<std::uint64_t> warm_hits{0};
+  std::atomic<std::uint64_t> warm_misses{0};
+  std::atomic<std::uint64_t> cold_builds{0};
+  std::atomic<std::uint64_t> sweeps_executed{0};
+  std::atomic<std::uint64_t> sweep_budget{0};
+  std::atomic<std::uint64_t> restarts_skipped{0};
+  std::atomic<std::uint64_t> plateau_exits{0};
+  std::atomic<std::uint64_t> stress_exits{0};
+
+  void merge(const FrameBuildStats& s) {
+    frames_built.fetch_add(s.frames_built, std::memory_order_relaxed);
+    warm_hits.fetch_add(s.warm_hits, std::memory_order_relaxed);
+    warm_misses.fetch_add(s.warm_misses, std::memory_order_relaxed);
+    cold_builds.fetch_add(s.cold_builds, std::memory_order_relaxed);
+    sweeps_executed.fetch_add(s.sweeps_executed, std::memory_order_relaxed);
+    sweep_budget.fetch_add(s.sweep_budget, std::memory_order_relaxed);
+    restarts_skipped.fetch_add(s.restarts_skipped,
+                               std::memory_order_relaxed);
+    plateau_exits.fetch_add(s.plateau_exits, std::memory_order_relaxed);
+    stress_exits.fetch_add(s.stress_exits, std::memory_order_relaxed);
+  }
+
+  FrameBuildStats snapshot() const {
+    FrameBuildStats s;
+    s.frames_built = frames_built.load(std::memory_order_relaxed);
+    s.warm_hits = warm_hits.load(std::memory_order_relaxed);
+    s.warm_misses = warm_misses.load(std::memory_order_relaxed);
+    s.cold_builds = cold_builds.load(std::memory_order_relaxed);
+    s.sweeps_executed = sweeps_executed.load(std::memory_order_relaxed);
+    s.sweep_budget = sweep_budget.load(std::memory_order_relaxed);
+    s.restarts_skipped = restarts_skipped.load(std::memory_order_relaxed);
+    s.plateau_exits = plateau_exits.load(std::memory_order_relaxed);
+    s.stress_exits = stress_exits.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// The blocked cold build — the kBoundaryIdentical fast path. Blocks of
+/// `batch_frames` nodes in id order; each block runs every node's
+/// `mdsmap_init` and batches the refinements into one SmacofBatch sweep
+/// loop. Per frame this is bit-identical to `mdsmap_frame` at the same
+/// config: the init stage is the same code, the batched sweeps are
+/// bit-identical to `SmacofProblem::refine` (see linalg/mds.hpp), and a
+/// frame whose first attempt misses the noise-consistent acceptance
+/// level — the only case where the monolithic restart loop does more
+/// than one attempt — falls back to the full per-node builder. No
+/// cross-frame data flows, so the result is independent of thread count
+/// and block size.
+void build_frames_blocked(const Localizer& localizer,
+                          std::vector<LocalFrame>& frames, unsigned threads,
+                          const std::vector<char>* alive,
+                          const std::string& parent, AtomicFrameStats& agg) {
+  const net::Network& net = localizer.network();
+  const LocalizerConfig& cfg = localizer.config();
+  const std::size_t n = net.num_nodes();
+  const std::size_t batch_size = std::max<std::size_t>(1, cfg.batch_frames);
+  const std::size_t blocks = (n + batch_size - 1) / batch_size;
+  const double e = localizer.model().error_fraction() * net.radio_range();
+
+  parallel_for(
+      blocks,
+      [&](std::size_t blk) {
+        const obs::SpanPathScope adopt(parent);
+        FrameBuildStats local;
+        LocScratch& s = scratch();
+        s.batch.clear();
+        s.pending.clear();
+        const std::size_t lo = blk * batch_size;
+        const std::size_t hi = std::min(n, lo + batch_size);
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const NodeId i = static_cast<NodeId>(idx);
+          ++local.frames_built;
+          if (alive != nullptr && (*alive)[i] == 0) {
+            frames[i] = LocalFrame{};  // crashed: no frame, not-ok
+            continue;
+          }
+          BALLFIT_SPAN("frame");
+          PendingWarm p;
+          std::size_t pairs = 0;
+          if (!localizer.mdsmap_init(i, alive, p.frame, s.init, pairs)) {
+            frames[i] = std::move(p.frame);  // degenerate, finalized
+            continue;
+          }
+          p.node = i;
+          p.pairs = pairs;
+          // The restart loop's acceptance level: at or below it,
+          // `refine_embedding` stops after the first attempt — so a
+          // batched first attempt meeting it IS the whole per-node
+          // result.
+          p.gate = noise_floor_stress(e, 1.5, MeasuredPairs{pairs});
+          linalg::SmacofConfig sc;
+          sc.max_sweeps = cfg.mdsmap_sweeps;
+          set_adaptive_exits(cfg, e, MeasuredPairs{pairs}, sc);
+          p.budget = sc.max_sweeps;
+          p.slot = s.batch.add(s.d, s.w, s.init, sc);
+          s.pending.push_back(std::move(p));
+        }
+        if (!s.pending.empty()) {
+          BALLFIT_SPAN("frame_batch");
+          s.batch.refine_all();
+        }
+        for (PendingWarm& p : s.pending) {
+          const linalg::SmacofRunInfo& run = s.batch.info(p.slot);
+          local.sweeps_executed += static_cast<std::uint64_t>(run.sweeps);
+          local.sweep_budget += static_cast<std::uint64_t>(p.budget);
+          local.plateau_exits += run.plateau_exit;
+          local.stress_exits += run.stress_exit;
+          ++local.cold_builds;
+          if (run.final_stress <= p.gate) {
+            local.restarts_skipped += static_cast<std::uint64_t>(
+                std::max(1, cfg.smacof_restarts) - 1);
+            p.frame.coords = s.batch.take_coords(p.slot);
+            p.frame.ok = true;
+            p.frame.stress_rms =
+                p.pairs == 0 ? 0.0
+                             : std::sqrt(run.final_stress /
+                                         static_cast<double>(p.pairs));
+            frames[p.node] = std::move(p.frame);
+          } else {
+            // First attempt above the acceptance level: the restart loop
+            // has real work to do (perturbed re-inits, best-of). Resume
+            // the per-node builder with the batched run standing in for
+            // the first attempt — bit-identical to the monolithic loop,
+            // whose first attempt would have produced exactly this.
+            frames[p.node] = localizer.mdsmap_frame_resume(
+                p.node, alive, s.batch.take_coords(p.slot),
+                run.final_stress, &local);
+          }
+        }
+        agg.merge(local);
+      },
+      threads);
+}
+
+/// Deterministic warm-start schedule: BFS depth over the full adjacency
+/// (alive-mask independent — dead sources are simply skipped later), each
+/// component rooted at its smallest node id. `order` lists the nodes wave
+/// by wave, ascending id within a wave. A node's warm sources are exactly
+/// its depth-(k−1) neighbors, whose frames are finalized before wave k
+/// starts — so the schedule, and with it every frame, is independent of
+/// thread count and batch size.
+struct WarmSchedule {
+  std::vector<std::int32_t> wave;
+  std::vector<NodeId> order;
+  std::vector<std::uint32_t> wave_begin;  ///< per-wave offsets into order
+};
+
+WarmSchedule build_warm_schedule(const net::Network& net) {
+  const std::size_t n = net.num_nodes();
+  WarmSchedule s;
+  s.wave.assign(n, -1);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  std::int32_t max_wave = 0;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (s.wave[root] >= 0) continue;
+    s.wave[root] = 0;
+    const std::size_t begin = queue.size();
+    queue.push_back(static_cast<NodeId>(root));
+    for (std::size_t head = begin; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      for (NodeId u : net.neighbors(v)) {
+        if (s.wave[u] >= 0) continue;
+        s.wave[u] = s.wave[v] + 1;
+        max_wave = std::max(max_wave, s.wave[u]);
+        queue.push_back(u);
+      }
+    }
+  }
+  // Counting sort by wave keeps ids ascending within each wave.
+  s.wave_begin.assign(static_cast<std::size_t>(max_wave) + 2, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    ++s.wave_begin[static_cast<std::size_t>(s.wave[i]) + 1];
+  for (std::size_t wv = 1; wv < s.wave_begin.size(); ++wv)
+    s.wave_begin[wv] += s.wave_begin[wv - 1];
+  s.order.resize(n);
+  std::vector<std::uint32_t> cursor(s.wave_begin.begin(),
+                                    s.wave_begin.end() - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    s.order[cursor[static_cast<std::size_t>(s.wave[i])]++] =
+        static_cast<NodeId>(i);
+  return s;
+}
+
+/// Attempts a warm initialization of node i's frame from already-solved
+/// lower-wave neighbor frames. Requires `s.slot` to map the frame's
+/// members and `s.w` to hold their measured-pair weights. On success
+/// `s.init` holds a start position for every member — in the first solved
+/// neighbor's gauge, which is as good as any other since frames are
+/// defined only up to rigid motion + reflection.
+bool warm_init_from_neighbors(const Localizer& localizer,
+                              const std::vector<LocalFrame>& frames,
+                              const WarmSchedule& sched, NodeId i,
+                              const LocalFrame& frame, LocScratch& s) {
+  const LocalizerConfig& cfg = localizer.config();
+  const std::size_t m = frame.members.size();
+  s.init.assign(m, geom::Vec3{});
+  s.covered.assign(m, 0);
+  std::size_t covered = 0;
+  bool have_base = false;
+  for (NodeId j : localizer.network().neighbors(i)) {
+    if (sched.wave[j] >= sched.wave[i]) continue;  // not solved yet
+    const LocalFrame& fj = frames[j];
+    if (!fj.ok) continue;  // dead or degenerate source
+    if (!have_base) {
+      // Adopt j's gauge outright. i itself is covered here: i sits in
+      // N(j), so j's two-hop frame places it.
+      for (std::size_t b = 0; b < fj.members.size(); ++b) {
+        const std::uint32_t a = s.slot.find(fj.members[b]);
+        if (a == EpochSlotMap::kNotFound || s.covered[a]) continue;
+        s.init[a] = fj.coords[b];
+        s.covered[a] = 1;
+        ++covered;
+      }
+      have_base = true;
+      continue;
+    }
+    if (covered == m) break;
+    // Rigid-map j's frame into the base gauge through the members both
+    // sides already place, then import the still-uncovered ones.
+    s.anchor_src.clear();
+    s.anchor_tgt.clear();
+    for (std::size_t b = 0; b < fj.members.size(); ++b) {
+      const std::uint32_t a = s.slot.find(fj.members[b]);
+      if (a != EpochSlotMap::kNotFound && s.covered[a]) {
+        s.anchor_src.push_back(fj.coords[b]);
+        s.anchor_tgt.push_back(s.init[a]);
+      }
+    }
+    if (s.anchor_src.size() < cfg.warm_min_anchors) continue;
+    const linalg::ProcrustesResult align =
+        linalg::procrustes_align(s.anchor_src, s.anchor_tgt);
+    for (std::size_t b = 0; b < fj.members.size(); ++b) {
+      const std::uint32_t a = s.slot.find(fj.members[b]);
+      if (a == EpochSlotMap::kNotFound || s.covered[a]) continue;
+      s.init[a] = align.apply(fj.coords[b]);
+      s.covered[a] = 1;
+      ++covered;
+    }
+  }
+  if (!have_base) return false;
+  if (static_cast<double>(covered) <
+      cfg.warm_min_coverage * static_cast<double>(m))
+    return false;
+  // Stragglers start at the centroid of their covered measured partners;
+  // the first sweep pulls them onto distance-consistent positions.
+  for (std::size_t a = 0; a < m; ++a) {
+    if (s.covered[a]) continue;
+    geom::Vec3 acc{};
+    int count = 0;
+    for (std::size_t b = 0; b < m; ++b) {
+      if (!s.covered[b] || s.w(a, b) <= 0.0) continue;
+      acc += s.init[b];
+      ++count;
+    }
+    s.init[a] = count > 0 ? acc / static_cast<double>(count) : s.init[0];
+  }
+  return true;
+}
+
+/// The warm-started frame build (kFast only): waves of the schedule run
+/// in order with a barrier between them (`parallel_for` joins); within a
+/// wave, blocks of `batch_frames` nodes are work units. Per node: gather
+/// members, fill measured pairs, warm-init from lower-wave frames, and
+/// queue the SMACOF run into the block's batch (or build cold when no
+/// usable source covers the frame). Every warm frame is kept; the
+/// noise-consistent gate only splits the warm_hits/warm_misses
+/// accounting.
+void build_frames_warm(const Localizer& localizer,
+                       std::vector<LocalFrame>& frames, unsigned threads,
+                       const std::vector<char>* alive,
+                       const std::string& parent, AtomicFrameStats& agg) {
+  const net::Network& net = localizer.network();
+  const LocalizerConfig& cfg = localizer.config();
+  const WarmSchedule sched = build_warm_schedule(net);
+  const std::size_t batch_size =
+      cfg.blocked_active() ? std::max<std::size_t>(1, cfg.batch_frames) : 1;
+  const double e = localizer.model().error_fraction() * net.radio_range();
+
+  for (std::size_t wv = 0; wv + 1 < sched.wave_begin.size(); ++wv) {
+    const std::size_t begin = sched.wave_begin[wv];
+    const std::size_t end = sched.wave_begin[wv + 1];
+    if (begin == end) continue;
+    const std::size_t blocks = (end - begin + batch_size - 1) / batch_size;
+    parallel_for(
+        blocks,
+        [&](std::size_t blk) {
+          const obs::SpanPathScope adopt(parent);
+          FrameBuildStats local;
+          LocScratch& s = scratch();
+          s.batch.clear();
+          s.pending.clear();
+          const std::size_t lo = begin + blk * batch_size;
+          const std::size_t hi = std::min(end, lo + batch_size);
+          for (std::size_t idx = lo; idx < hi; ++idx) {
+            const NodeId i = sched.order[idx];
+            ++local.frames_built;
+            if (alive != nullptr && (*alive)[i] == 0) {
+              frames[i] = LocalFrame{};  // crashed: no frame, not-ok
+              continue;
+            }
+            BALLFIT_SPAN("frame");
+            LocalFrame frame;
+            gather_two_hop_members(net, alive, i, frame, s);
+            if (frame.one_hop_count < 4) {
+              frame.ok = false;
+              frame.coords.assign(frame.members.size(), {});
+              frames[i] = std::move(frame);
+              continue;
+            }
+            const MeasuredPairs mp = fill_measured_pairs(
+                net, localizer.model(), localizer.edge_cache(),
+                frame.members, s.slot, s.d, s.w);
+            if (!warm_init_from_neighbors(localizer, frames, sched, i,
+                                          frame, s)) {
+              // Schedule root or insufficient coverage: cold build.
+              FrameBuildStats effort;
+              frames[i] = localizer.mdsmap_frame(i, alive, &effort);
+              ++effort.cold_builds;
+              local.merge(effort);
+              continue;
+            }
+            PendingWarm p;
+            p.node = i;
+            p.pairs = mp.pairs;
+            p.gate = noise_floor_stress(e, cfg.warm_accept_factor, mp);
+            linalg::SmacofConfig sc;
+            sc.max_sweeps = cfg.mdsmap_sweeps;
+            set_adaptive_exits(cfg, e, mp, sc);
+            p.budget = sc.max_sweeps;
+            p.slot = s.batch.add(s.d, s.w, s.init, sc);
+            p.frame = std::move(frame);
+            s.pending.push_back(std::move(p));
+          }
+          if (!s.pending.empty()) {
+            BALLFIT_SPAN("frame_batch");
+            s.batch.refine_all();
+          }
+          for (PendingWarm& p : s.pending) {
+            const linalg::SmacofRunInfo& run = s.batch.info(p.slot);
+            local.sweeps_executed += static_cast<std::uint64_t>(run.sweeps);
+            local.sweep_budget += static_cast<std::uint64_t>(p.budget);
+            local.plateau_exits += run.plateau_exit;
+            local.stress_exits += run.stress_exit;
+            // kFast keeps every warm frame; the gate only classifies how
+            // often warm starts land in acceptable basins.
+            if (run.final_stress <= p.gate) {
+              ++local.warm_hits;
+            } else {
+              ++local.warm_misses;
+            }
+            // The whole restart loop is skipped for a warm frame — one
+            // batched run replaced up to `smacof_restarts` attempts.
+            local.restarts_skipped += static_cast<std::uint64_t>(
+                std::max(1, cfg.smacof_restarts) - 1);
+            p.frame.coords = s.batch.take_coords(p.slot);
+            p.frame.ok = true;
+            p.frame.stress_rms =
+                p.pairs == 0
+                    ? 0.0
+                    : std::sqrt(run.final_stress /
+                                static_cast<double>(p.pairs));
+            frames[p.node] = std::move(p.frame);
+          }
+          agg.merge(local);
+        },
+        threads);
+  }
+}
+
+}  // namespace
+
 void build_all_frames(const Localizer& localizer, FrameScope scope,
                       std::vector<LocalFrame>& frames, unsigned threads,
                       const std::vector<char>* alive,
-                      const std::vector<char>* rebuild) {
+                      const std::vector<char>* rebuild,
+                      FrameBuildStats* stats) {
   const net::Network& net = localizer.network();
   const std::size_t n = net.num_nodes();
   BALLFIT_REQUIRE(rebuild == nullptr || frames.size() == n,
@@ -566,21 +1114,55 @@ void build_all_frames(const Localizer& localizer, FrameScope scope,
   frames.resize(n);
   const bool two_hop = scope == FrameScope::kTwoHop;
   const std::string parent = obs::current_span_path();
-  parallel_for(
-      n,
-      [&](std::size_t i) {
-        if (rebuild != nullptr && (*rebuild)[i] == 0) return;
-        const obs::SpanPathScope adopt(parent);
-        BALLFIT_SPAN("frame");
-        if (alive != nullptr && (*alive)[i] == 0) {
-          frames[i] = LocalFrame{};  // crashed: no frame, not-ok
-          return;
-        }
-        const auto id = static_cast<NodeId>(i);
-        frames[i] = two_hop ? localizer.mdsmap_frame(id, alive)
-                            : localizer.local_frame(id, alive);
-      },
-      threads == 0 ? default_threads() : threads);
+  const unsigned nthreads = threads == 0 ? default_threads() : threads;
+  AtomicFrameStats agg;
+  const LocalizerConfig& cfg = localizer.config();
+  // The scheduled/blocked executors apply only to full two-hop builds: a
+  // partial rebuild recomputes dirty nodes against a frozen frame set
+  // through the per-node builder — bit-identical at the pure-per-frame
+  // tiers, and the only sound option at kFast (warm frames are functions
+  // of the schedule). The blocked path defers to the per-node one when
+  // refinement is disabled outright (nothing to batch).
+  if (two_hop && rebuild == nullptr && cfg.warm_start_active()) {
+    build_frames_warm(localizer, frames, nthreads, alive, parent, agg);
+  } else if (two_hop && rebuild == nullptr && cfg.blocked_active() &&
+             cfg.smacof_sweeps > 0) {
+    build_frames_blocked(localizer, frames, nthreads, alive, parent, agg);
+  } else {
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          if (rebuild != nullptr && (*rebuild)[i] == 0) return;
+          const obs::SpanPathScope adopt(parent);
+          BALLFIT_SPAN("frame");
+          FrameBuildStats local;
+          ++local.frames_built;
+          if (alive != nullptr && (*alive)[i] == 0) {
+            frames[i] = LocalFrame{};  // crashed: no frame, not-ok
+          } else {
+            const auto id = static_cast<NodeId>(i);
+            frames[i] = two_hop ? localizer.mdsmap_frame(id, alive, &local)
+                                : localizer.local_frame(id, alive, &local);
+            local.cold_builds += frames[i].ok;
+          }
+          agg.merge(local);
+        },
+        nthreads);
+  }
+  const FrameBuildStats totals = agg.snapshot();
+  if (stats != nullptr) *stats = totals;
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("loc.frames_built").add(totals.frames_built);
+    reg.counter("loc.warm_hits").add(totals.warm_hits);
+    reg.counter("loc.warm_misses").add(totals.warm_misses);
+    reg.counter("loc.cold_builds").add(totals.cold_builds);
+    reg.counter("loc.sweeps_executed").add(totals.sweeps_executed);
+    reg.counter("loc.sweep_budget").add(totals.sweep_budget);
+    reg.counter("loc.restarts_skipped").add(totals.restarts_skipped);
+    reg.counter("loc.plateau_exits").add(totals.plateau_exits);
+    reg.counter("loc.stress_exits").add(totals.stress_exits);
+  }
 }
 
 }  // namespace ballfit::localization

@@ -44,6 +44,34 @@ struct LocalFrame {
   double embed_residual = 0.0;
 };
 
+/// Numerical-equivalence contract of the frame build (see
+/// docs/ARCHITECTURE.md, "Localization").
+enum class EquivalenceTier {
+  /// Every new fast path is forced off; frames are bit-identical to the
+  /// pre-warm-start kernel and each frame is a pure function of its
+  /// two-hop neighborhood.
+  kBitwise,
+  /// Adaptive effort capping and blocked sweeps run (as far as their
+  /// individual flags allow), but every frame stays a pure per-node
+  /// function of (network, measurement model, scope, alive): the blocked
+  /// batch build, the per-node build, a partial rebuild, and any thread
+  /// count produce bit-identical frames *at this tier* — so detection
+  /// flags and groups are identical across all of them. Coordinates may
+  /// differ from kBitwise (fewer eigen iterations, early sweep exits);
+  /// the per-frame purity contract is enforced by
+  /// tests/localization_equivalence_test.cpp and the drift against
+  /// kBitwise is watched by the bench_compare boundary tripwire. This is
+  /// the default tier.
+  kBoundaryIdentical,
+  /// Additionally warm-starts each frame's SMACOF from already-solved
+  /// neighbor frames (deterministic BFS wave schedule + rigid Procrustes
+  /// import) instead of a spectral init, and keeps the result even when
+  /// its stress misses the acceptance gate. Frames become functions of
+  /// the schedule, not of their neighborhood alone; accuracy is tracked
+  /// via the stress/confidence histograms rather than guaranteed.
+  kFast,
+};
+
 struct LocalizerConfig {
   /// Pairs of neighbors farther apart than the radio range cannot measure
   /// each other; their matrix entry is completed by the shortest measured
@@ -89,6 +117,150 @@ struct LocalizerConfig {
   /// inside every frame build. Values are bit-identical by the measurement
   /// model's determinism contract.
   bool use_edge_cache = true;
+
+  /// Equivalence tier of the whole frame build. kBitwise overrides the
+  /// three optimization flags below to off; the flags exist so tests and
+  /// benchmarks can toggle each optimization independently within a tier.
+  EquivalenceTier tier = EquivalenceTier::kBoundaryIdentical;
+  /// Warm-start (kFast only): solve frames in a deterministic BFS wave
+  /// schedule and initialize each node's SMACOF from an already-solved
+  /// neighbor frame (rigid Procrustes import of the shared two-hop
+  /// members) instead of a cold classical-MDS/eigen init. A warm frame
+  /// depends on the schedule, not on its neighborhood alone, which is
+  /// incompatible with the kBoundaryIdentical purity contract — measured
+  /// warm inits also land in systematically worse stress basins than the
+  /// spectral init, so they are an effort trade, not a free win. Applies
+  /// to full two-hop builds via `build_all_frames`; one-hop frames,
+  /// incremental rebuilds, and direct `mdsmap_frame` calls always run
+  /// cold.
+  bool warm_start = true;
+  /// Adaptive effort: exit SMACOF sweeps at the noise-consistent stress
+  /// floor or on a stress plateau instead of running the fixed
+  /// `smacof_sweeps`/`mdsmap_sweeps` budget, and skip restarts once the
+  /// stress is acceptable.
+  bool adaptive_sweeps = true;
+  /// Batch the frames of one work block into a structure-of-arrays
+  /// `linalg::SmacofBatch` sweep loop (bit-identical per frame; purely a
+  /// memory-layout optimization). Drives the blocked full-build path at
+  /// kBoundaryIdentical and the per-wave blocks of the kFast warm path.
+  bool blocked_smacof = true;
+  /// Stress floor for the adaptive early exit, as a multiple of the
+  /// noise-consistent per-pair residual (e·R)²/3 (dimensionless). 1.0
+  /// stops at the expected residual of the *true* configuration. Off (0)
+  /// by default: the legacy full-budget refinement overfits far below the
+  /// noise floor at every e, so any fixed factor leaves `stress_rms`
+  /// elevated and the UBF slack model overcalls the boundary (measured:
+  /// mistaken-rate 0.23→0.38 on fig1 at e = 0.2 with a 0.45 floor). The
+  /// plateau exit below captures most of the savings at a converged
+  /// landing level; set a positive factor only when boundary drift is
+  /// acceptable (kFast-style throughput runs). Only read when
+  /// `adaptive_sweeps` is active.
+  double adaptive_floor = 0.0;
+  /// Consecutive stress evaluations (count — one evaluation per
+  /// `stress_stride` sweeps) with relative improvement below
+  /// `plateau_rel_tol` before the plateau exit fires. Only read when
+  /// `adaptive_sweeps` is active.
+  int plateau_sweeps = 4;
+  /// Relative stress improvement (dimensionless, Δstress/stress across
+  /// one evaluation interval of `stress_stride` sweeps) under which an
+  /// evaluation counts toward the plateau.
+  double plateau_rel_tol = 6e-4;
+  /// Guttman sweeps per stress evaluation (count, ≥ 1) at the optimized
+  /// tiers; kBitwise always evaluates every sweep. The stress pass is
+  /// about a third of the sweep loop and only drives exit checks, so 2
+  /// halves that overhead at twice-coarser exit granularity. The default
+  /// plateau knobs are calibrated for stride 2 (4 evaluations × 2 sweeps
+  /// ≈ the 8-sweep tail a stride-1 run would watch).
+  int stress_stride = 2;
+  /// Plateau guard, as a multiple of the e-noise floor
+  /// (pairs × (e·R)²/3, dimensionless multiplier): sweeps count toward
+  /// the plateau only once the stress is within `plateau_guard` × that
+  /// floor. A refinement stalled far above it is a fold-over still
+  /// unfolding and keeps its full budget — in particular at zero
+  /// measurement error, where the floor is (near) zero and slow-but-real
+  /// convergence must never be truncated.
+  double plateau_guard = 4.0;
+  /// Subspace-iteration budget (iteration cap / relative Rayleigh-quotient
+  /// tolerance) for the classical-MDS init of two-hop patches at the
+  /// optimized tiers. The init only seeds the measured-pair SMACOF
+  /// refinement, so the pre-PR tolerance (1e-6, kept by kBitwise together
+  /// with the 60-iteration cap) polishes eigenvectors far beyond what the
+  /// refinement basin needs; 1e-4 exits the subspace iteration several
+  /// times earlier at measured-identical detection quality. Hard iteration
+  /// caps below ~30 do visibly degrade the init (fold-overs the
+  /// refinement cannot undo) — lower the tolerance, not the cap.
+  int mds_eigen_iters = 60;
+  double mds_eigen_tol = 1e-4;
+  /// A warm frame counts as a hit when its final stress is at or below
+  /// `warm_accept_factor` × the e-noise floor (pairs × (e·R)²/3;
+  /// dimensionless multiplier). kFast keeps the frame either way — the
+  /// gate feeds the warm_hits/misses accounting that tracks how often
+  /// warm starts land in good basins.
+  double warm_accept_factor = 1.0;
+  /// Minimum shared members (count) between the base gauge and a further
+  /// neighbor frame for a rigid Procrustes import — 3D alignment needs at
+  /// least 4 non-degenerate anchors.
+  std::size_t warm_min_anchors = 4;
+  /// Minimum fraction (0..1) of a frame's members that must be covered by
+  /// neighbor imports for the warm init to be attempted; below it the node
+  /// builds cold.
+  double warm_min_coverage = 0.5;
+  /// Frames per schedule block (count) batched into one SmacofBatch when
+  /// `blocked_smacof` is active; also the work-unit granularity of the
+  /// wave-parallel build.
+  std::size_t batch_frames = 8;
+
+  /// The optimization flags above, gated by the tier.
+  bool warm_start_active() const {
+    return warm_start && tier == EquivalenceTier::kFast;
+  }
+  bool adaptive_active() const {
+    return adaptive_sweeps && tier != EquivalenceTier::kBitwise;
+  }
+  bool blocked_active() const {
+    return blocked_smacof && tier != EquivalenceTier::kBitwise;
+  }
+};
+
+/// Effort/outcome accounting of one frame build (a `build_all_frames` call
+/// or a single direct frame build). Exported as `loc.*` obs counters and
+/// through `core::PipelineResult::localize_stats`.
+struct FrameBuildStats {
+  /// Frames processed, including degenerate (< 4 one-hop members) and
+  /// masked-dead placeholders.
+  std::uint64_t frames_built = 0;
+  /// Warm-started frames (kFast) whose refined stress met the acceptance
+  /// gate.
+  std::uint64_t warm_hits = 0;
+  /// Warm-started frames that missed the gate (kept anyway — kFast tracks
+  /// rather than guarantees accuracy).
+  std::uint64_t warm_misses = 0;
+  /// Frames refined from a cold classical-MDS/eigen init: every frame at
+  /// kBitwise/kBoundaryIdentical, plus kFast schedule roots and nodes
+  /// without enough warm coverage.
+  std::uint64_t cold_builds = 0;
+  /// SMACOF sweeps actually executed vs. the budget the fixed
+  /// configuration would have allowed for the same runs.
+  std::uint64_t sweeps_executed = 0;
+  std::uint64_t sweep_budget = 0;
+  /// Restart attempts skipped because the stress was already acceptable.
+  std::uint64_t restarts_skipped = 0;
+  /// Refinement runs that exited on the stress plateau cap.
+  std::uint64_t plateau_exits = 0;
+  /// Refinement runs that exited at the noise-consistent stress floor.
+  std::uint64_t stress_exits = 0;
+
+  void merge(const FrameBuildStats& o) {
+    frames_built += o.frames_built;
+    warm_hits += o.warm_hits;
+    warm_misses += o.warm_misses;
+    cold_builds += o.cold_builds;
+    sweeps_executed += o.sweeps_executed;
+    sweep_budget += o.sweep_budget;
+    restarts_skipped += o.restarts_skipped;
+    plateau_exits += o.plateau_exits;
+    stress_exits += o.stress_exits;
+  }
 };
 
 class Localizer {
@@ -102,8 +274,11 @@ class Localizer {
   /// exactly as a real crash would. A null mask is bit-identical to the
   /// pre-mask behavior. The measurement model draws per node-id pair, so a
   /// masked frame's surviving measurements match the unmasked ones bitwise.
+  /// `effort`, here and on `mdsmap_frame`, when non-null accumulates the
+  /// build's SMACOF effort accounting (sweeps, exits, skipped restarts).
   LocalFrame local_frame(net::NodeId i,
-                         const std::vector<char>* alive = nullptr) const;
+                         const std::vector<char>* alive = nullptr,
+                         FrameBuildStats* effort = nullptr) const;
 
   /// Builds node i's frame over its full two-hop neighborhood, MDS-MAP(P)
   /// style (Shang & Ruml [31], the method the paper adopts): classical MDS
@@ -115,7 +290,35 @@ class Localizer {
   /// `alive` masks crashed nodes out of the patch (see `local_frame`);
   /// dead nodes neither join the member set nor relay two-hop membership.
   LocalFrame mdsmap_frame(net::NodeId i,
-                          const std::vector<char>* alive = nullptr) const;
+                          const std::vector<char>* alive = nullptr,
+                          FrameBuildStats* effort = nullptr) const;
+
+  /// The init stage of `mdsmap_frame` — member gather, measured-pair
+  /// fill, shortest-path completion, classical-MDS spectral start —
+  /// without the refinement. Returns false when the neighborhood is
+  /// degenerate (`frame` is then finalized not-ok). On success `frame`
+  /// holds members/one_hop_count (coords still empty), `init` the start
+  /// coordinates, `measured_pairs` the measured-pair count, and the
+  /// calling thread's scratch matrices the measured-pair system the
+  /// refinement must honor (valid until the thread's next frame build).
+  /// Building block of the blocked `build_all_frames` path, which batches
+  /// the refinement across frames; `mdsmap_frame` == this +
+  /// `refine_embedding` on the scratch system.
+  bool mdsmap_init(net::NodeId i, const std::vector<char>* alive,
+                   LocalFrame& frame, std::vector<geom::Vec3>& init,
+                   std::size_t& measured_pairs) const;
+
+  /// `mdsmap_frame` for a node whose first refinement attempt already ran
+  /// elsewhere (the blocked batch): re-runs the init stage, then applies
+  /// the restart policy with `attempt0`/`attempt0_stress` standing in for
+  /// the first attempt. Bit-identical to `mdsmap_frame` whenever
+  /// `attempt0` is what the monolithic loop's first attempt would have
+  /// produced (which the SmacofBatch equivalence guarantees).
+  LocalFrame mdsmap_frame_resume(net::NodeId i,
+                                 const std::vector<char>* alive,
+                                 const std::vector<geom::Vec3>& attempt0,
+                                 double attempt0_stress,
+                                 FrameBuildStats* effort = nullptr) const;
 
   /// Re-runs SMACOF on an (assembled) frame against every measured pair
   /// among its members — pairs that are mutual one-hop neighbors anywhere
@@ -128,17 +331,26 @@ class Localizer {
   double frame_rms_error(const LocalFrame& frame) const;
 
   const net::Network& network() const { return *network_; }
+  const net::NoisyDistanceModel& model() const { return *model_; }
+  const LocalizerConfig& config() const { return config_; }
+  /// The shared per-edge measurement cache, or nullptr when disabled.
+  const net::EdgeMeasurementCache* edge_cache() const {
+    return edge_cache_ ? &*edge_cache_ : nullptr;
+  }
 
  private:
   /// SMACOF with restart logic shared by both frame builders: refines
   /// `init` against the measured pairs (w > 0), restarting from perturbed
   /// initializations while the stress exceeds the noise-consistent level.
-  std::vector<geom::Vec3> refine_embedding(const linalg::Matrix& d,
-                                           const linalg::Matrix& w,
-                                           std::vector<geom::Vec3> init,
-                                           net::NodeId node,
-                                           int sweeps_override = 0,
-                                           double* stress_rms = nullptr) const;
+  /// When `attempt0` is non-null, the first attempt is not executed —
+  /// `*attempt0`/`attempt0_stress` stand in for its result and only the
+  /// perturbed restarts (same per-node RNG stream) may run.
+  std::vector<geom::Vec3> refine_embedding(
+      const linalg::Matrix& d, const linalg::Matrix& w,
+      std::vector<geom::Vec3> init, net::NodeId node, int sweeps_override = 0,
+      double* stress_rms = nullptr, FrameBuildStats* effort = nullptr,
+      const std::vector<geom::Vec3>* attempt0 = nullptr,
+      double attempt0_stress = 0.0) const;
 
   const net::Network* network_;
   const net::NoisyDistanceModel* model_;
@@ -199,9 +411,23 @@ enum class FrameScope { kOneHop, kTwoHop };
 ///     builders; dead nodes get a default (not-ok) frame.
 ///   - `rebuild` (optional): when non-null, `frames` must already hold a
 ///     full build and only nodes with `(*rebuild)[i] != 0` are recomputed —
-///     the incremental re-detection path. Each frame is a pure function of
-///     (network, measurement model, scope, alive), so a partial rebuild
-///     over a sound dirty set is bit-identical to a full one.
+///     the incremental re-detection path. Rebuilt nodes run the per-node
+///     cold builder; at kBitwise and kBoundaryIdentical a frame is a pure
+///     function of (network, measurement model, scope, alive), so a
+///     partial rebuild over a sound dirty set is bit-identical to a full
+///     build at the same tier. (kFast warm frames depend on the schedule
+///     and exist only in full builds.)
+///   - `stats` (optional): receives the build's `FrameBuildStats`. The
+///     same totals are always added to the `loc.*` obs counters when obs
+///     is enabled.
+///
+/// Full two-hop builds pick their executor by tier: kFast with warm_start
+/// runs the deterministic BFS wave schedule (frames solved wave by wave,
+/// warm-started from already-solved lower-wave neighbor frames, blocks of
+/// `batch_frames` per work unit); kBoundaryIdentical with blocked_smacof
+/// runs blocks of per-node cold builds whose refinements share one
+/// `linalg::SmacofBatch` (bit-identical to the per-node path, see
+/// docs/ARCHITECTURE.md). Everything else takes the per-node path.
 ///
 /// Emits one "frame" trace span per rebuilt node under the caller's span
 /// (the workers adopt the calling thread's span path). `threads` = 0 uses
@@ -209,6 +435,7 @@ enum class FrameScope { kOneHop, kTwoHop };
 void build_all_frames(const Localizer& localizer, FrameScope scope,
                       std::vector<LocalFrame>& frames, unsigned threads = 0,
                       const std::vector<char>* alive = nullptr,
-                      const std::vector<char>* rebuild = nullptr);
+                      const std::vector<char>* rebuild = nullptr,
+                      FrameBuildStats* stats = nullptr);
 
 }  // namespace ballfit::localization

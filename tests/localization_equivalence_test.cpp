@@ -111,6 +111,211 @@ TEST(LocalizationEquivalence, DetectionInvariantAcrossThreadCounts) {
   EXPECT_EQ(t1, t8);
 }
 
+TEST(LocalizationEquivalence, BlockedBuildMatchesPerNodeAtDefaultTier) {
+  // The kBoundaryIdentical purity contract: the blocked full build (frames
+  // batched through SmacofBatch, resumed through mdsmap_frame_resume) must
+  // reproduce the one-off per-node builder bit for bit — a frame is a pure
+  // function of its neighborhood, never of the schedule it was built under.
+  const net::Network net = fig1_network(17);
+  const net::NoisyDistanceModel model(net, 0.25, 3);
+  const Localizer localizer(net, model);  // default config = default tier
+  ASSERT_EQ(localizer.config().tier, EquivalenceTier::kBoundaryIdentical);
+
+  std::vector<LocalFrame> blocked;
+  build_all_frames(localizer, FrameScope::kTwoHop, blocked, /*threads=*/2);
+  ASSERT_EQ(blocked.size(), net.num_nodes());
+  for (NodeId v = 0; v < net.num_nodes(); v += 5) {
+    SCOPED_TRACE(static_cast<unsigned>(v));
+    expect_frames_bitwise_equal(blocked[v], localizer.mdsmap_frame(v));
+  }
+}
+
+TEST(LocalizationEquivalence, BatchRefineMatchesSingleProblemPerFrame) {
+  // Every frame in a SmacofBatch must exit exactly where the same frame
+  // refined alone through SmacofProblem would — including under the
+  // adaptive exits (plateau + stride) and the fast sweep kernel.
+  const net::Network net = sphere_network(19);
+  const net::NoisyDistanceModel model(net, 0.15, 5);
+  Rng rng(7);
+  linalg::SmacofConfig sc;
+  sc.max_sweeps = 120;
+  sc.fast_sweep = true;
+  sc.stress_stride = 2;
+  sc.plateau_sweeps = 4;
+  sc.plateau_rel_tol = 6e-4;
+
+  linalg::SmacofBatch batch;
+  std::vector<linalg::SmacofProblem> singles;
+  std::vector<std::vector<Vec3>> inits;
+  for (NodeId v = 3; v < net.num_nodes() && batch.size() < 8; v += 41) {
+    std::vector<NodeId> members{v};
+    for (NodeId u : net.neighbors(v)) members.push_back(u);
+    const std::size_t m = members.size();
+    if (m < 6) continue;
+    linalg::Matrix d(m, m, 0.0);
+    linalg::Matrix w(m, m, 0.0);
+    std::vector<Vec3> init(m);
+    for (std::size_t a = 0; a < m; ++a) {
+      init[a] = net.position(members[a]) +
+                Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                     rng.uniform(-0.3, 0.3)};
+      for (std::size_t b = a + 1; b < m; ++b) {
+        if (!net.are_neighbors(members[a], members[b])) continue;
+        d(a, b) = d(b, a) = model.measured_distance(members[a], members[b]);
+        w(a, b) = w(b, a) = 1.0;
+      }
+    }
+    batch.add(d, w, init, sc);
+    singles.emplace_back(d, w);
+    inits.push_back(std::move(init));
+  }
+  ASSERT_GE(batch.size(), 4u);
+  batch.refine_all();
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    SCOPED_TRACE(s);
+    linalg::SmacofRunInfo alone_info;
+    const std::vector<Vec3> alone =
+        singles[s].refine(inits[s], sc, nullptr, nullptr, &alone_info);
+    const linalg::SmacofRunInfo& batched_info = batch.info(s);
+    EXPECT_EQ(batched_info.sweeps, alone_info.sweeps);
+    EXPECT_EQ(batched_info.plateau_exit, alone_info.plateau_exit);
+    EXPECT_EQ(batched_info.final_stress, alone_info.final_stress);
+    const std::vector<Vec3> batched = batch.take_coords(s);
+    ASSERT_EQ(batched.size(), alone.size());
+    for (std::size_t k = 0; k < alone.size(); ++k) {
+      EXPECT_EQ(batched[k].x, alone[k].x);
+      EXPECT_EQ(batched[k].y, alone[k].y);
+      EXPECT_EQ(batched[k].z, alone[k].z);
+    }
+  }
+}
+
+TEST(LocalizationEquivalence, PlateauCapStopsEarlyWithMonotoneStress) {
+  // The adaptive plateau exit: refinement stops once `plateau_sweeps`
+  // consecutive evaluations improve by less than `plateau_rel_tol`, well
+  // inside the sweep budget, and the recorded stress trajectory stays
+  // monotone non-increasing (the majorization guarantee the early exit
+  // relies on). Also pins the stride accounting: `sweeps` counts Guttman
+  // sweeps, the trace holds one entry per *evaluation* plus the init.
+  const net::Network net = sphere_network(23);
+  const net::NoisyDistanceModel model(net, 0.2, 9);
+  Rng rng(11);
+  const NodeId v = 17;
+  std::vector<NodeId> members{v};
+  for (NodeId u : net.neighbors(v)) members.push_back(u);
+  const std::size_t m = members.size();
+  ASSERT_GE(m, 6u);
+  linalg::Matrix d(m, m, 0.0);
+  linalg::Matrix w(m, m, 0.0);
+  std::vector<Vec3> init(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    init[a] = net.position(members[a]) +
+              Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                   rng.uniform(-0.3, 0.3)};
+    for (std::size_t b = a + 1; b < m; ++b) {
+      if (!net.are_neighbors(members[a], members[b])) continue;
+      d(a, b) = d(b, a) = model.measured_distance(members[a], members[b]);
+      w(a, b) = w(b, a) = 1.0;
+    }
+  }
+  const linalg::SmacofProblem problem(d, w);
+
+  linalg::SmacofConfig capped;
+  capped.max_sweeps = 500;
+  capped.stress_stride = 2;
+  capped.plateau_sweeps = 4;
+  capped.plateau_rel_tol = 6e-4;
+  std::vector<double> trace;
+  linalg::SmacofRunInfo info;
+  (void)problem.refine(init, capped, nullptr, &trace, &info);
+
+  EXPECT_TRUE(info.plateau_exit);
+  EXPECT_LT(info.sweeps, capped.max_sweeps);
+  EXPECT_GE(info.sweeps, capped.plateau_sweeps * capped.stress_stride);
+  // One trace entry per evaluation (every `stress_stride` sweeps), plus
+  // the pre-sweep stress.
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_EQ(info.sweeps, static_cast<int>(trace.size() - 1) *
+                             capped.stress_stride);
+  for (std::size_t s = 1; s < trace.size(); ++s)
+    EXPECT_LE(trace[s], trace[s - 1] + 1e-12) << "evaluation " << s;
+  EXPECT_EQ(info.final_stress, trace.back());
+}
+
+TEST(LocalizationEquivalence, FastSweepAndStrideKeepDenseCsrIdentity) {
+  // fast_sweep and stress_stride change the rounding relative to the
+  // legacy stride-1 kernel, but at a *fixed* config the dense reference
+  // and the CSR path must still agree bit for bit — the optimizations are
+  // kernel variants, not structural divergence.
+  const net::Network net = sphere_network(29);
+  const net::NoisyDistanceModel model(net, 0.1, 6);
+  Rng rng(13);
+  for (NodeId v : {NodeId{5}, NodeId{77}}) {
+    SCOPED_TRACE(static_cast<unsigned>(v));
+    std::vector<NodeId> members{v};
+    for (NodeId u : net.neighbors(v)) members.push_back(u);
+    const std::size_t m = members.size();
+    if (m < 5) continue;
+    linalg::Matrix d(m, m, 0.0);
+    linalg::Matrix w(m, m, 0.0);
+    std::vector<Vec3> init(m);
+    for (std::size_t a = 0; a < m; ++a) {
+      init[a] = net.position(members[a]) +
+                Vec3{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                     rng.uniform(-0.2, 0.2)};
+      for (std::size_t b = a + 1; b < m; ++b) {
+        if (!net.are_neighbors(members[a], members[b])) continue;
+        d(a, b) = d(b, a) = model.measured_distance(members[a], members[b]);
+        w(a, b) = w(b, a) = 1.0;
+      }
+    }
+    linalg::SmacofConfig sc;
+    sc.max_sweeps = 37;  // deliberately not a stride multiple
+    sc.fast_sweep = true;
+    sc.stress_stride = 3;
+    double dense_stress = 0.0, sparse_stress = 0.0;
+    std::vector<double> dense_trace, sparse_trace;
+    linalg::SmacofRunInfo dense_info, sparse_info;
+    const std::vector<Vec3> dense = linalg::smacof_refine(
+        d, w, init, sc, &dense_stress, &dense_trace, &dense_info);
+    const linalg::SmacofProblem problem(d, w);
+    const std::vector<Vec3> sparse = problem.refine(
+        init, sc, &sparse_stress, &sparse_trace, &sparse_info);
+    EXPECT_EQ(dense_info.sweeps, sc.max_sweeps);  // budget exact
+    EXPECT_EQ(dense_info.sweeps, sparse_info.sweeps);
+    EXPECT_EQ(dense_stress, sparse_stress);
+    ASSERT_EQ(dense_trace.size(), sparse_trace.size());
+    for (std::size_t s = 0; s < dense_trace.size(); ++s)
+      EXPECT_EQ(dense_trace[s], sparse_trace[s]) << "evaluation " << s;
+    ASSERT_EQ(dense.size(), sparse.size());
+    for (std::size_t a = 0; a < m; ++a) {
+      EXPECT_EQ(dense[a].x, sparse[a].x);
+      EXPECT_EQ(dense[a].y, sparse[a].y);
+      EXPECT_EQ(dense[a].z, sparse[a].z);
+    }
+  }
+}
+
+TEST(LocalizationEquivalence, WarmStartBuildIsThreadCountInvariant) {
+  // kFast frames depend on the BFS wave schedule, but that schedule is
+  // deterministic: waves are a function of the network alone, and a frame
+  // only ever imports from *lower* waves, so work distribution within a
+  // wave must not leak into results.
+  const net::Network net = fig1_network(37);
+  const net::NoisyDistanceModel model(net, 0.2, 2);
+  LocalizerConfig cfg;
+  cfg.tier = EquivalenceTier::kFast;
+  const Localizer localizer(net, model, cfg);
+  std::vector<LocalFrame> t1, t4;
+  build_all_frames(localizer, FrameScope::kTwoHop, t1, /*threads=*/1);
+  build_all_frames(localizer, FrameScope::kTwoHop, t4, /*threads=*/4);
+  ASSERT_EQ(t1.size(), t4.size());
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    SCOPED_TRACE(static_cast<unsigned>(v));
+    expect_frames_bitwise_equal(t1[v], t4[v]);
+  }
+}
+
 TEST(LocalizationEquivalence, SparseSmacofMatchesDenseStressPerSweep) {
   // The CSR sweep must reproduce the dense sweep's stress trajectory bit
   // for bit — same arithmetic in the same order — and the shared

@@ -206,6 +206,30 @@ TEST(Sharded, NoisyLocalizationEqualsUnsharded) {
   expect_equal_detection(sharded.run(cfg), expected, "sphere noisy");
 }
 
+TEST(Sharded, LocalizeStatsMergeAcrossShards) {
+  // The global result's localization effort accounting is the sum over
+  // shard sessions. Halo nodes are built by every shard that sees them, so
+  // the merged frame count is at least the unsharded one — and never zero
+  // on a noisy run.
+  const net::Network net = sphere_network(23, 140, 230);
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.2;
+  cfg.noise_seed = 9;
+
+  DetectionSession reference(net);
+  const PipelineResult expected = reference.run(cfg);
+  ASSERT_GT(expected.localize_stats.frames_built, 0u);
+
+  ShardedDetector sharded(net, cells(2, 1, 2));
+  const PipelineResult got = sharded.run(cfg);
+  EXPECT_GE(got.localize_stats.frames_built,
+            expected.localize_stats.frames_built);
+  EXPECT_GE(got.localize_stats.sweeps_executed,
+            expected.localize_stats.sweeps_executed);
+  EXPECT_LE(got.localize_stats.sweeps_executed,
+            got.localize_stats.sweep_budget);
+}
+
 TEST(Sharded, CubeWithHoleEqualsUnshardedBothPaths) {
   const net::Network net = fig1_hole_network(31);
   for (const bool true_coords : {true, false}) {
