@@ -1,0 +1,57 @@
+/// \file effort.cpp
+/// The effort control plane's planner: turns first-pass UBF confidence and
+/// frame stress signals into a per-node EffortClass vector (see
+/// pipeline.hpp for the class semantics and session.hpp for the Escalate
+/// stage that consumes the plan).
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/pipeline.hpp"
+
+namespace ballfit::core {
+
+EffortPlan build_effort_plan(const std::vector<float>& confidence,
+                             const std::vector<localization::LocalFrame>& frames,
+                             const std::vector<char>* alive,
+                             const UnitBallFitting& ubf,
+                             const EscalationConfig& esc) {
+  const std::size_t n = frames.size();
+  BALLFIT_REQUIRE(confidence.size() == n,
+                  "effort planning needs a full confidence vector");
+  BALLFIT_REQUIRE(alive == nullptr || alive->size() == n,
+                  "alive mask must be sized num_nodes");
+  BALLFIT_REQUIRE(esc.margin > 0.0 && esc.margin < 0.5,
+                  "escalation margin must lie in (0, 0.5)");
+  BALLFIT_REQUIRE(esc.relax >= 1.0, "escalation relax factor must be >= 1");
+
+  EffortPlan plan;
+  plan.classes.assign(n, EffortClass::kDefault);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive != nullptr && (*alive)[i] == 0) {
+      plan.classes[i] = EffortClass::kCheap;  // dead: nothing to refine
+      continue;
+    }
+    if (!frames[i].ok) {
+      // Degenerate neighborhood — no embedding exists at any effort level,
+      // so extra sweeps cannot buy information.
+      plan.classes[i] = EffortClass::kCheap;
+      continue;
+    }
+    if (!ubf.frame_reliable(frames[i].stress_rms)) {
+      // Stress-gated: the first pass abstained because the frame looked
+      // folded. A kFull re-embed is exactly the effort that can rescue it.
+      plan.classes[i] = EffortClass::kFull;
+      continue;
+    }
+    const double dist = std::abs(static_cast<double>(confidence[i]) - 0.5);
+    if (dist < esc.margin) {
+      plan.classes[i] = EffortClass::kFull;  // marginal verdict
+    } else if (dist >= esc.relax * esc.margin) {
+      plan.classes[i] = EffortClass::kCheap;  // confidently classified
+    }
+  }
+  return plan;
+}
+
+}  // namespace ballfit::core

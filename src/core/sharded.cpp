@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <string>
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
@@ -200,10 +201,23 @@ ShardedDetector::ShardedDetector(const net::Network& network,
     }
     shard->info.owned_nodes = shard->owned_local.size();
     shard->info.halo_nodes = m - shard->owned_local.size();
-    shard->session.emplace(
-        static_cast<const net::Network&>(shard->net));
+    // Mutable binding: the shard owns its subnetwork by value, and only
+    // the session mutates it (move deltas routed through apply()).
+    shard->session.emplace(shard->net);
     shards_.push_back(std::move(shard));
   }
+
+  // Persist the lattice geometry: apply() validates and routes move
+  // deltas against the construction-time grid (membership is positional
+  // and never changes after construction).
+  lattice_origin_ = lat.origin;
+  for (int d = 0; d < 3; ++d) {
+    lattice_step_[d] = lat.step[d];
+    lattice_k_[d] = lat.k[d];
+  }
+  halo_dist_ = halo;
+  own_cell_ = std::move(own_cell);
+  shard_of_cell_ = std::move(shard_of_cell);
 
   // Node -> shards routing CSR (ascending shard ids per node, because the
   // shard loop below visits shards in order).
@@ -229,6 +243,12 @@ ShardedDetector::ShardedDetector(const net::Network& network,
   num_alive_ = n;
 }
 
+ShardedDetector::ShardedDetector(net::Network& network, ShardedConfig config)
+    : ShardedDetector(static_cast<const net::Network&>(network),
+                      std::move(config)) {
+  mutable_network_ = &network;
+}
+
 ShardedDetector::~ShardedDetector() = default;
 ShardedDetector::ShardedDetector(ShardedDetector&&) noexcept = default;
 ShardedDetector& ShardedDetector::operator=(ShardedDetector&&) noexcept =
@@ -252,12 +272,21 @@ std::span<const std::uint32_t> ShardedDetector::shards_of(NodeId g) const {
 
 PipelineResult ShardedDetector::run(const PipelineConfig& config) {
   BALLFIT_REQUIRE(!config.faults.has_value(),
-                  "ShardedDetector does not support fault injection — the "
-                  "channel RNG is call-order dependent and cannot be "
-                  "replayed per shard; use an unsharded DetectionSession");
+                  "ShardedDetector does not support fault injection: the "
+                  "loss/duplication channel RNG is call-order dependent, so "
+                  "per-shard replay diverges from the unsharded stream. "
+                  "ROADMAP caveat: re-keying the channel draw per (stage, "
+                  "node) would make sharded faults reproducible; until then "
+                  "run faulted configs through an unsharded "
+                  "DetectionSession");
   BALLFIT_REQUIRE(config.iff.ttl <= config_.halo_hops,
                   "IFF ttl exceeds the halo width; widen "
                   "ShardedConfig::halo_hops to at least the ttl");
+  BALLFIT_REQUIRE(!config.escalate.enabled || config_.halo_hops >= 6,
+                  "escalation needs ShardedConfig::halo_hops >= 6: an owned "
+                  "node's escalated flag reads the plan of seeds up to 3 "
+                  "hops away, and each seed's plan reads confidence whose "
+                  "inputs reach 3 hops further");
 
   const std::size_t n = network_->num_nodes();
   const std::size_t num_shards = shards_.size();
@@ -292,8 +321,12 @@ PipelineResult ShardedDetector::run(const PipelineConfig& config) {
   // bit-safe concurrently, and this is a linear pass.
   PipelineResult result;
   result.ubf_candidates.assign(n, false);
+  // Confidence is exchanged whenever the shard sessions produced it: under
+  // obs, and on escalated runs (the effort planner forces it on, and the
+  // unsharded session publishes it — the equality contract follows).
+  const bool want_conf = obs_on || config.escalate.enabled;
   std::vector<float> confidence;
-  if (obs_on) confidence.assign(n, 0.0f);
+  if (want_conf) confidence.assign(n, 0.0f);
   std::size_t fallbacks = 0;
   for (std::size_t s = 0; s < num_shards; ++s) {
     const Shard& shard = *shards_[s];
@@ -301,15 +334,17 @@ PipelineResult ShardedDetector::run(const PipelineConfig& config) {
     for (NodeId l : shard.owned_local) {
       const NodeId g = shard.to_global[l];
       result.ubf_candidates[g] = r.ubf_candidates[l];
-      if (obs_on && !r.ubf_confidence.empty()) {
+      if (want_conf && !r.ubf_confidence.empty()) {
         confidence[g] = r.ubf_confidence[l];
       }
     }
     fallbacks += r.frame_fallbacks;
-    // Localization effort is per-shard-session; the global view is the
-    // sum (halo nodes are built by every shard that sees them, and the
-    // merged counters say so rather than pretending otherwise).
+    // Localization and escalation effort are per-shard-session; the
+    // global view is the sum (halo nodes are built/planned by every shard
+    // that sees them, and the merged counters say so rather than
+    // pretending otherwise).
     result.localize_stats.merge(r.localize_stats);
+    result.effort.merge(r.effort);
   }
   result.frame_fallbacks = fallbacks;
 
@@ -435,8 +470,8 @@ PipelineResult ShardedDetector::run(const PipelineConfig& config) {
   }
 
   result.crashed_nodes = n - num_alive_;
+  if (want_conf) result.ubf_confidence = std::move(confidence);
   if (obs_on) {
-    result.ubf_confidence = std::move(confidence);
     if (config.group) {
       result.group_quality = score_boundaries(
           result.groups, config.iff.theta, result.ubf_confidence, counts);
@@ -460,10 +495,10 @@ PipelineResult ShardedDetector::run(const PipelineConfig& config) {
 }
 
 void ShardedDetector::apply(const NetworkDelta& delta) {
-  BALLFIT_REQUIRE(delta.moved.empty(),
-                  "ShardedDetector does not support move deltas — shard "
-                  "membership is positional; apply moves to the network "
-                  "and rebuild the detector");
+  BALLFIT_REQUIRE(delta.moved.empty() || mutable_network_ != nullptr,
+                  "NetworkDelta contains moves but the detector observes a "
+                  "const network — construct the ShardedDetector with a "
+                  "mutable net::Network to enable node motion");
   const std::size_t n = network_->num_nodes();
   // Validate the whole delta against the global alive state before any
   // mutation (mirrors DetectionSession::apply).
@@ -482,9 +517,67 @@ void ShardedDetector::apply(const NetworkDelta& delta) {
   check_list(delta.crashed, true, "crash of an already-dead node");
   check_list(delta.revived, false, "revive of an already-alive node");
 
+  // Moves: membership is positional and fixed at construction, so a move
+  // is admissible only while it changes nothing about who must see the
+  // node — it must stay in its owning cell, and every shard whose rim
+  // contains the post-move position must already hold the node as a
+  // member. (Shards that saw the old position but not the new one keep
+  // the node as a harmless extra member — induced adjacency drops the
+  // out-of-range edges.) Both checks run before any state changes.
+  if (!delta.moved.empty()) {
+    CellLattice lat;
+    lat.origin = lattice_origin_;
+    for (int d = 0; d < 3; ++d) {
+      lat.step[d] = lattice_step_[d];
+      lat.k[d] = lattice_k_[d];
+    }
+    std::vector<NodeId> moved_ids;
+    moved_ids.reserve(delta.moved.size());
+    for (const net::NodeMove& m : delta.moved) {
+      BALLFIT_REQUIRE(m.node < n, "NetworkDelta node id out of range");
+      moved_ids.push_back(m.node);
+    }
+    std::sort(moved_ids.begin(), moved_ids.end());
+    BALLFIT_REQUIRE(std::adjacent_find(moved_ids.begin(), moved_ids.end()) ==
+                        moved_ids.end(),
+                    "duplicate node id in NetworkDelta list");
+    for (const net::NodeMove& m : delta.moved) {
+      BALLFIT_REQUIRE(
+          lat.cell_of(m.new_position) == own_cell_[m.node],
+          "NetworkDelta: node " + std::to_string(m.node) +
+              " moved out of its owning lattice cell — shard membership "
+              "is positional; apply the moves with Network::apply_moves "
+              "and rebuild the ShardedDetector");
+      const double c[3] = {m.new_position.x, m.new_position.y,
+                           m.new_position.z};
+      std::size_t lo[3], hi[3];
+      for (int d = 0; d < 3; ++d) {
+        lo[d] = lat.axis_cell(c[d] - halo_dist_, d);
+        hi[d] = lat.axis_cell(c[d] + halo_dist_, d);
+      }
+      const std::span<const std::uint32_t> seen = shards_of(m.node);
+      for (std::size_t z = lo[2]; z <= hi[2]; ++z)
+        for (std::size_t y = lo[1]; y <= hi[1]; ++y)
+          for (std::size_t x = lo[0]; x <= hi[0]; ++x) {
+            const std::uint32_t s =
+                shard_of_cell_[(z * lat.k[1] + y) * lat.k[0] + x];
+            if (s == static_cast<std::uint32_t>(-1)) continue;
+            BALLFIT_REQUIRE(
+                std::binary_search(seen.begin(), seen.end(), s),
+                "NetworkDelta: node " + std::to_string(m.node) +
+                    " moved into the halo rim of a shard that does not "
+                    "see it — shard membership is positional; apply the "
+                    "moves with Network::apply_moves and rebuild the "
+                    "ShardedDetector");
+          }
+    }
+  }
+
   // Route to every shard whose cell-or-rim holds the node: the owner must
   // recompute the node's flag, and halo shards must re-localize the owned
-  // neighborhoods that could hear it.
+  // neighborhoods that could hear it. Moves route like crashes — with the
+  // pre-move membership, which the validation above proved covers the
+  // post-move rims too.
   std::vector<NetworkDelta> local(shards_.size());
   const auto route = [&](const std::vector<NodeId>& ids, bool crashed) {
     for (NodeId g : ids) {
@@ -496,9 +589,16 @@ void ShardedDetector::apply(const NetworkDelta& delta) {
   };
   route(delta.crashed, true);
   route(delta.revived, false);
+  for (const net::NodeMove& m : delta.moved) {
+    for (std::uint32_t s : shards_of(m.node)) {
+      local[s].moved.push_back(
+          net::NodeMove{shards_[s]->local_of(m.node), m.new_position});
+    }
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (!local[s].empty()) shards_[s]->session->apply(local[s]);
   }
+  if (!delta.moved.empty()) mutable_network_->apply_moves(delta.moved);
   for (NodeId v : delta.crashed) alive_[v] = 0;
   for (NodeId v : delta.revived) alive_[v] = 1;
   num_alive_ = num_alive_ - delta.crashed.size() + delta.revived.size();

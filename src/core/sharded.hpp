@@ -55,11 +55,31 @@
 /// over shards, so halo nodes are counted once per shard that sees them —
 /// an upper bound on the unsharded cost, not an equality.
 ///
-/// Not supported (throws `InvalidArgument`): fault injection (the channel
-/// RNG is call-order dependent and cannot be replayed per shard) and move
-/// deltas (membership churn — rebuild the detector after
-/// `Network::apply_moves`). Crash/revive deltas are routed to exactly the
-/// shards whose cell-or-rim contains the node.
+/// Escalation (`PipelineConfig::escalate`) flows through each shard's
+/// session unchanged; `run` requires `halo_hops >= 6` for it: an owned
+/// node's escalated flag reads the plan of seeds up to 1 hop away (its
+/// retest membership and the kFull status of the frames its test reads),
+/// and each seed's plan reads confidence whose inputs reach 3 hops
+/// further — a 4-hop worst case, with two hops of margin so the contract
+/// survives a wider dirty-set choice. `PipelineResult::effort` is summed
+/// over shards — halo nodes
+/// are planned/retested once per shard that sees them, so the merged
+/// stats overcount like the other cost telemetry.
+///
+/// Deltas: crash/revive/move deltas are routed to every shard whose
+/// cell-or-rim contains the node (for moves, the pre- AND post-move
+/// position). Moves require a detector constructed over a mutable
+/// network, and each move must stay inside its owning cell and inside the
+/// rims that already see the node — a move that would change shard
+/// membership throws `InvalidArgument` (rebuild the detector after
+/// `Network::apply_moves` instead; membership is positional).
+///
+/// Not supported (throws `InvalidArgument`): fault injection. The
+/// loss/duplication channel RNG is call-order dependent, so per-shard
+/// replay cannot reproduce the unsharded stream; the ROADMAP caveat
+/// stands — re-keying the channel draw per (stage, node) would make
+/// sharded faults reproducible. Until then, run faulted configs through
+/// an unsharded `DetectionSession`.
 
 #include <cstddef>
 #include <cstdint>
@@ -84,8 +104,11 @@ struct ShardedConfig {
   std::size_t target_nodes_per_shard = 50'000;
   /// Ghost-rim width in hops (>= 3). 3 covers the 2-hop frame radius plus
   /// one witness hop; `run` additionally requires halo_hops >= IffConfig::
-  /// ttl (default 3). Realized geometrically as halo_hops × radio_range
-  /// around the cell box. Wider halos buy nothing but overlap.
+  /// ttl (default 3), and >= 6 when `PipelineConfig::escalate` is enabled
+  /// (escalated flags read 1 hop of plan reach plus 3 hops of confidence
+  /// inputs, with two hops of margin). Realized geometrically as
+  /// halo_hops × radio_range around the
+  /// cell box. Wider halos buy nothing but overlap.
   unsigned halo_hops = 3;
   /// Worker threads for the shard pool (count; default 0 = hardware
   /// concurrency). Shard sessions run single-threaded inside a worker;
@@ -105,8 +128,14 @@ struct ShardInfo {
 /// outlive the detector and must not be mutated behind its back.
 class ShardedDetector {
  public:
+  /// Observe-only binding: `apply` deltas may crash/revive but not move
+  /// nodes.
   explicit ShardedDetector(const net::Network& network,
                            ShardedConfig config = {});
+  /// Mutable binding: `apply` deltas may also move nodes (within their
+  /// owning cell and existing rims — see the move contract above). The
+  /// caller must not mutate the network behind the detector's back.
+  explicit ShardedDetector(net::Network& network, ShardedConfig config = {});
   ~ShardedDetector();
   ShardedDetector(ShardedDetector&&) noexcept;
   ShardedDetector& operator=(ShardedDetector&&) noexcept;
@@ -120,10 +149,14 @@ class ShardedDetector {
   /// or when `config.iff.ttl > halo_hops`.
   PipelineResult run(const PipelineConfig& config = {});
 
-  /// Applies a crash/revive delta, routing each node to every shard whose
-  /// cell-or-rim contains it (so the owning shard *and* any shard that
-  /// sees the node as halo re-localize around it). Validates like
-  /// `DetectionSession::apply`; throws on move deltas.
+  /// Applies a crash/revive/move delta, routing each node to every shard
+  /// whose cell-or-rim contains it (so the owning shard *and* any shard
+  /// that sees the node as halo re-localize around it). Validates like
+  /// `DetectionSession::apply`. Moves additionally require the mutable
+  /// binding, must keep the node in its owning cell, and must not enter
+  /// the rim of a shard that does not already see the node — otherwise
+  /// `InvalidArgument` (before any state change): shard membership is
+  /// positional, so such a move needs a detector rebuild.
   void apply(const NetworkDelta& delta);
 
   std::size_t num_shards() const { return shards_.size(); }
@@ -145,8 +178,18 @@ class ShardedDetector {
   struct Shard;
 
   const net::Network* network_;
+  /// Non-null iff constructed with a mutable network; required by moves.
+  net::Network* mutable_network_ = nullptr;
   ShardedConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Lattice geometry persisted for move-delta validation/routing (the
+  // construction-time grid; membership never changes after construction).
+  geom::Vec3 lattice_origin_{};
+  double lattice_step_[3] = {0.0, 0.0, 0.0};
+  std::size_t lattice_k_[3] = {1, 1, 1};
+  double halo_dist_ = 0.0;
+  std::vector<std::uint32_t> own_cell_;      ///< node -> owning cell
+  std::vector<std::uint32_t> shard_of_cell_; ///< cell -> shard (-1 = empty)
   // Node -> shards membership, CSR over global ids.
   std::vector<std::size_t> route_offsets_;
   std::vector<std::uint32_t> route_shards_;

@@ -378,15 +378,23 @@ void run_ball_tests(const UnitBallFitting& ubf,
                     std::vector<char>& flags, const std::vector<char>* alive,
                     const std::vector<char>* run_mask, unsigned workers,
                     std::atomic<std::size_t>* fallbacks,
-                    std::vector<float>* confidence) {
+                    std::vector<float>* confidence,
+                    const std::vector<localization::EffortClass>* effort) {
   const UbfConfig& config = ubf.config();
   const std::size_t n = frames.size();
   const bool want_conf = confidence != nullptr;
-  // Votes are counted past the decision threshold only up to this cap —
-  // bounded extra work, and enough margin to separate "barely boundary"
-  // from "saturated".
-  const std::size_t conf_cap =
-      std::max(config.verify_pool, config.min_empty_balls);
+  // Per-node candidate-ball budget: the configured pool, doubled for
+  // kFull-effort (escalated) nodes. The vote-budget mask only ever grows
+  // the pool — see update_flags_on_frames — so the enumeration prefix a
+  // default run sees is unchanged. Also the vote cap past the decision
+  // threshold (bounded extra work, enough margin to separate "barely
+  // boundary" from "saturated").
+  const auto vote_budget = [&](std::size_t i) {
+    const bool full = effort != nullptr &&
+                      (*effort)[i] == localization::EffortClass::kFull;
+    return std::max(full ? 2 * config.verify_pool : config.verify_pool,
+                    config.min_empty_balls);
+  };
 
   // Per-node work histograms (Theorem 1's Θ(ρ³) in the wild). Handles are
   // fetched once here so the parallel workers below never touch the
@@ -448,11 +456,13 @@ void run_ball_tests(const UnitBallFitting& ubf,
           return;
         }
         UbfNodeDiagnostics diag;
+        const std::size_t pool = vote_budget(i);
         if (!config.cross_verify) {
-          if (want_conf) {
+          if (want_conf || pool != std::max(config.verify_pool,
+                                            config.min_empty_balls)) {
             const std::size_t votes =
                 ubf.count_empty_balls(frame.coords, 0, frame.one_hop_count,
-                                      conf_cap, frame.stress_rms, &diag);
+                                      pool, frame.stress_rms, &diag);
             flags[i] = votes >= config.min_empty_balls ? 1 : 0;
             set_conf(vote_confidence(votes, config.min_empty_balls));
           } else {
@@ -462,8 +472,6 @@ void run_ball_tests(const UnitBallFitting& ubf,
                            : 0;
           }
         } else {
-          const std::size_t pool =
-              std::max(config.verify_pool, config.min_empty_balls);
           const auto balls =
               ubf.collect_empty_balls(frame.coords, 0, frame.one_hop_count,
                                       pool, frame.stress_rms, &diag);
@@ -530,7 +538,8 @@ std::vector<bool> UnitBallFitting::detect_on_frames(
   std::vector<char> flags(n, 0);
   std::atomic<std::size_t> fallbacks{0};
   run_ball_tests(*this, frames, flags, /*alive=*/nullptr,
-                 /*run_mask=*/nullptr, workers, &fallbacks, confidence);
+                 /*run_mask=*/nullptr, workers, &fallbacks, confidence,
+                 /*effort=*/nullptr);
 
   if (frame_fallbacks != nullptr) {
     *frame_fallbacks = fallbacks.load(std::memory_order_relaxed);
@@ -544,15 +553,18 @@ void UnitBallFitting::update_flags_on_frames(
     const std::vector<localization::LocalFrame>& frames,
     std::vector<char>& flags, const std::vector<char>* alive,
     const std::vector<char>* run_mask, unsigned threads,
-    std::vector<float>* confidence) const {
+    std::vector<float>* confidence,
+    const std::vector<localization::EffortClass>* effort) const {
   const std::size_t n = network_->num_nodes();
   BALLFIT_REQUIRE(frames.size() == n, "one frame per node required");
   BALLFIT_REQUIRE(flags.size() == n, "flags must be sized num_nodes");
   BALLFIT_REQUIRE(confidence == nullptr || confidence->size() == n,
                   "confidence must be pre-sized num_nodes");
+  BALLFIT_REQUIRE(effort == nullptr || effort->size() == n,
+                  "effort plan must be sized num_nodes");
   const unsigned workers = threads == 0 ? default_threads() : threads;
   run_ball_tests(*this, frames, flags, alive, run_mask, workers,
-                 /*fallbacks=*/nullptr, confidence);
+                 /*fallbacks=*/nullptr, confidence, effort);
 }
 
 std::vector<bool> UnitBallFitting::detect_with_true_coordinates(

@@ -57,7 +57,10 @@ struct SmacofConfig {
   double stop_stress = 0.0;
   /// Plateau cap: exit after this many *consecutive* sweeps whose relative
   /// stress improvement stays below `plateau_rel_tol` (a much looser bar
-  /// than `rel_tol`, which detects full convergence). 0 disables.
+  /// than `rel_tol`, which detects full convergence). 0 disables. Setting
+  /// this and `stop_stress` both to 0 is the run-to-budget contract the
+  /// effort control plane relies on for escalated (kFull-effort) frames:
+  /// the run exits only on the budget or on full `rel_tol` convergence.
   int plateau_sweeps = 0;
   /// Relative improvement (Δstress / stress) below which a sweep counts
   /// toward the plateau run. Dimensionless; meaningful only with

@@ -223,7 +223,8 @@ Localizer::Localizer(const net::Network& network,
 }
 
 LocalFrame Localizer::local_frame(NodeId i, const std::vector<char>* alive,
-                                  FrameBuildStats* effort) const {
+                                  FrameBuildStats* effort,
+                                  EffortClass node_effort) const {
   BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
 
   LocalFrame frame;
@@ -294,15 +295,17 @@ LocalFrame Localizer::local_frame(NodeId i, const std::vector<char>* alive,
       }
       init[r] = {c[0], c[1], c[2]};
     }
-    frame.coords = refine_embedding(d, w, std::move(init), i, 0,
-                                    &frame.stress_rms, effort);
+    frame.coords =
+        refine_embedding(d, w, std::move(init), i, 0, &frame.stress_rms,
+                         effort, nullptr, 0.0, node_effort);
     frame.ok = true;
     // embed_residual needs λ₄, which the top-k path does not compute; it
     // stays 0 (nothing downstream consumes it).
   } else {
     linalg::MdsResult mds = linalg::classical_mds(d, 3);
-    frame.coords = refine_embedding(d, w, std::move(mds.coords), i, 0,
-                                    &frame.stress_rms, effort);
+    frame.coords =
+        refine_embedding(d, w, std::move(mds.coords), i, 0, &frame.stress_rms,
+                         effort, nullptr, 0.0, node_effort);
     frame.ok = mds.converged;
     if (mds.gram_eigenvalues.size() >= 4 && mds.gram_eigenvalues[2] > 1e-12) {
       frame.embed_residual =
@@ -316,7 +319,8 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
     const linalg::Matrix& d, const linalg::Matrix& w,
     std::vector<geom::Vec3> init, NodeId node, int sweeps_override,
     double* stress_rms, FrameBuildStats* effort,
-    const std::vector<geom::Vec3>* attempt0, double attempt0_stress) const {
+    const std::vector<geom::Vec3>* attempt0, double attempt0_stress,
+    EffortClass node_effort) const {
   if (config_.smacof_sweeps <= 0) return init;
   const std::size_t m = init.size();
 
@@ -353,6 +357,16 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
   sc.max_sweeps =
       sweeps_override > 0 ? sweeps_override : config_.smacof_sweeps;
   set_adaptive_exits(config_, e, MeasuredPairs{measured_pairs}, sc);
+  // Per-node effort overrides (see EffortClass). kFull disarms the
+  // adaptive exits so the run spends the whole configured budget; kCheap
+  // halves it. Both leave the kernel flags (fast_sweep, stress_stride)
+  // alone — the per-sweep arithmetic stays tier-pure either way.
+  if (node_effort == EffortClass::kFull) {
+    sc.stop_stress = 0.0;
+    sc.plateau_sweeps = 0;
+  } else if (node_effort == EffortClass::kCheap) {
+    sc.max_sweeps = std::max(1, sc.max_sweeps / 2);
+  }
 
   double best_stress = std::numeric_limits<double>::infinity();
   std::vector<geom::Vec3> best;
@@ -363,7 +377,12 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
       config_.restart_seed ^
       (static_cast<std::uint64_t>(network_->external_id(node)) *
        0x9e3779b97f4a7c15ULL));
-  const int max_attempts = std::max(1, config_.smacof_restarts);
+  // A cheap node takes one attempt: the restart machinery exists to escape
+  // fold-over minima, which a confidently-classified node's frame has
+  // already been judged free of.
+  const int max_attempts = node_effort == EffortClass::kCheap
+                               ? 1
+                               : std::max(1, config_.smacof_restarts);
   int attempts = 0;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt == 0 && attempt0 != nullptr) {
@@ -420,7 +439,8 @@ std::vector<geom::Vec3> Localizer::refine_embedding(
 
 bool Localizer::mdsmap_init(NodeId i, const std::vector<char>* alive,
                             LocalFrame& frame, std::vector<geom::Vec3>& init,
-                            std::size_t& measured_pairs) const {
+                            std::size_t& measured_pairs,
+                            EffortClass node_effort) const {
   BALLFIT_REQUIRE(i < network_->num_nodes(), "node id out of range");
 
   LocScratch& s = scratch();
@@ -508,10 +528,17 @@ bool Localizer::mdsmap_init(NodeId i, const std::vector<char>* alive,
   // convergence would pay for itself (at the historical budget the
   // subspace iteration is over a third of the whole frame build).
   linalg::double_center_into(d, s.gram);
-  const bool full_eigen = config_.tier == EquivalenceTier::kBitwise;
+  // A kFull node gets the kBitwise-grade init regardless of tier; a kCheap
+  // node relaxes the tolerance 10× (the refinement basin tolerates a much
+  // rougher start than even the default tolerance demands).
+  const bool full_eigen = config_.tier == EquivalenceTier::kBitwise ||
+                          node_effort == EffortClass::kFull;
+  const double eigen_tol = node_effort == EffortClass::kCheap
+                               ? config_.mds_eigen_tol * 10.0
+                               : config_.mds_eigen_tol;
   const linalg::EigenDecomposition eig = linalg::eigen_top_k(
       s.gram, 3, full_eigen ? 60 : config_.mds_eigen_iters,
-      full_eigen ? 1e-6 : config_.mds_eigen_tol,
+      full_eigen ? 1e-6 : eigen_tol,
       /*data_seed=*/!full_eigen);
   init.resize(m);
   for (std::size_t r = 0; r < m; ++r) {
@@ -526,17 +553,19 @@ bool Localizer::mdsmap_init(NodeId i, const std::vector<char>* alive,
 }
 
 LocalFrame Localizer::mdsmap_frame(NodeId i, const std::vector<char>* alive,
-                                   FrameBuildStats* effort) const {
+                                   FrameBuildStats* effort,
+                                   EffortClass node_effort) const {
   LocalFrame frame;
   std::vector<geom::Vec3> init;
   std::size_t measured_pairs = 0;
-  if (!mdsmap_init(i, alive, frame, init, measured_pairs)) return frame;
+  if (!mdsmap_init(i, alive, frame, init, measured_pairs, node_effort))
+    return frame;
   // Measured-pair stress majorization on the scratch system the init
   // stage left behind (still this thread's, untouched since).
   LocScratch& s = scratch();
   frame.coords =
       refine_embedding(s.d, s.w, std::move(init), i, config_.mdsmap_sweeps,
-                       &frame.stress_rms, effort);
+                       &frame.stress_rms, effort, nullptr, 0.0, node_effort);
   frame.ok = true;
   return frame;
 }
@@ -544,15 +573,17 @@ LocalFrame Localizer::mdsmap_frame(NodeId i, const std::vector<char>* alive,
 LocalFrame Localizer::mdsmap_frame_resume(
     NodeId i, const std::vector<char>* alive,
     const std::vector<geom::Vec3>& attempt0, double attempt0_stress,
-    FrameBuildStats* effort) const {
+    FrameBuildStats* effort, EffortClass node_effort) const {
   LocalFrame frame;
   std::vector<geom::Vec3> init;
   std::size_t measured_pairs = 0;
-  if (!mdsmap_init(i, alive, frame, init, measured_pairs)) return frame;
+  if (!mdsmap_init(i, alive, frame, init, measured_pairs, node_effort))
+    return frame;
   LocScratch& s = scratch();
-  frame.coords = refine_embedding(s.d, s.w, std::move(init), i,
-                                  config_.mdsmap_sweeps, &frame.stress_rms,
-                                  effort, &attempt0, attempt0_stress);
+  frame.coords =
+      refine_embedding(s.d, s.w, std::move(init), i, config_.mdsmap_sweeps,
+                       &frame.stress_rms, effort, &attempt0, attempt0_stress,
+                       node_effort);
   frame.ok = true;
   return frame;
 }
@@ -1104,29 +1135,35 @@ void build_all_frames(const Localizer& localizer, FrameScope scope,
                       std::vector<LocalFrame>& frames, unsigned threads,
                       const std::vector<char>* alive,
                       const std::vector<char>* rebuild,
-                      FrameBuildStats* stats) {
+                      FrameBuildStats* stats,
+                      const std::vector<EffortClass>* effort) {
   const net::Network& net = localizer.network();
   const std::size_t n = net.num_nodes();
   BALLFIT_REQUIRE(rebuild == nullptr || frames.size() == n,
                   "partial rebuild requires an existing full frame set");
   BALLFIT_REQUIRE(alive == nullptr || alive->size() == n,
                   "alive mask must be sized num_nodes");
+  BALLFIT_REQUIRE(effort == nullptr || effort->size() == n,
+                  "effort plan must be sized num_nodes");
   frames.resize(n);
   const bool two_hop = scope == FrameScope::kTwoHop;
   const std::string parent = obs::current_span_path();
   const unsigned nthreads = threads == 0 ? default_threads() : threads;
   AtomicFrameStats agg;
   const LocalizerConfig& cfg = localizer.config();
-  // The scheduled/blocked executors apply only to full two-hop builds: a
-  // partial rebuild recomputes dirty nodes against a frozen frame set
-  // through the per-node builder — bit-identical at the pure-per-frame
-  // tiers, and the only sound option at kFast (warm frames are functions
-  // of the schedule). The blocked path defers to the per-node one when
-  // refinement is disabled outright (nothing to batch).
-  if (two_hop && rebuild == nullptr && cfg.warm_start_active()) {
+  // The scheduled/blocked executors apply only to full two-hop builds
+  // without an effort plan: a partial rebuild recomputes dirty nodes
+  // against a frozen frame set through the per-node builder —
+  // bit-identical at the pure-per-frame tiers, and the only sound option
+  // at kFast (warm frames are functions of the schedule) — and a plan's
+  // per-node overrides cannot ride a batch whose frames share one config.
+  // The blocked path defers to the per-node one when refinement is
+  // disabled outright (nothing to batch).
+  if (two_hop && rebuild == nullptr && effort == nullptr &&
+      cfg.warm_start_active()) {
     build_frames_warm(localizer, frames, nthreads, alive, parent, agg);
-  } else if (two_hop && rebuild == nullptr && cfg.blocked_active() &&
-             cfg.smacof_sweeps > 0) {
+  } else if (two_hop && rebuild == nullptr && effort == nullptr &&
+             cfg.blocked_active() && cfg.smacof_sweeps > 0) {
     build_frames_blocked(localizer, frames, nthreads, alive, parent, agg);
   } else {
     parallel_for(
@@ -1141,8 +1178,11 @@ void build_all_frames(const Localizer& localizer, FrameScope scope,
             frames[i] = LocalFrame{};  // crashed: no frame, not-ok
           } else {
             const auto id = static_cast<NodeId>(i);
-            frames[i] = two_hop ? localizer.mdsmap_frame(id, alive, &local)
-                                : localizer.local_frame(id, alive, &local);
+            const EffortClass ne =
+                effort != nullptr ? (*effort)[i] : EffortClass::kDefault;
+            frames[i] =
+                two_hop ? localizer.mdsmap_frame(id, alive, &local, ne)
+                        : localizer.local_frame(id, alive, &local, ne);
             local.cold_builds += frames[i].ok;
           }
           agg.merge(local);

@@ -72,6 +72,28 @@ enum class EquivalenceTier {
   kFast,
 };
 
+/// Per-node effort override — the localization half of the effort control
+/// plane (`core::EffortPlan`). Where the `EquivalenceTier` sets one effort
+/// level for a whole build, an `EffortClass` retunes a *single node's*
+/// frame build from the plan the session derived out of first-pass
+/// confidence and stress signals. `kDefault` reproduces the configured
+/// behavior bit for bit, so a plan of all-kDefault is indistinguishable
+/// from no plan at all.
+enum class EffortClass : std::uint8_t {
+  /// Confident node: half the sweep budget, a single SMACOF attempt (no
+  /// perturbed restarts), and a 10× looser eigen-init tolerance. The
+  /// decision was already clear — the frame only needs to stay good
+  /// enough for its neighbors' witness checks.
+  kCheap,
+  /// Exactly the configured behavior (tier knobs and all).
+  kDefault,
+  /// Marginal or stress-gated node: the full configured sweep budget with
+  /// the adaptive exits (stress floor, plateau cap) disarmed, and the
+  /// kBitwise-grade eigen init (60 iterations, 1e-6 tolerance). This is
+  /// the escalation effort level — spend everything the config allows.
+  kFull,
+};
+
 struct LocalizerConfig {
   /// Pairs of neighbors farther apart than the radio range cannot measure
   /// each other; their matrix entry is completed by the shortest measured
@@ -276,9 +298,13 @@ class Localizer {
   /// masked frame's surviving measurements match the unmasked ones bitwise.
   /// `effort`, here and on `mdsmap_frame`, when non-null accumulates the
   /// build's SMACOF effort accounting (sweeps, exits, skipped restarts).
+  /// `node_effort` applies the per-node effort class (see `EffortClass`;
+  /// kDefault is bit-identical to the pre-plan behavior).
   LocalFrame local_frame(net::NodeId i,
                          const std::vector<char>* alive = nullptr,
-                         FrameBuildStats* effort = nullptr) const;
+                         FrameBuildStats* effort = nullptr,
+                         EffortClass node_effort = EffortClass::kDefault)
+      const;
 
   /// Builds node i's frame over its full two-hop neighborhood, MDS-MAP(P)
   /// style (Shang & Ruml [31], the method the paper adopts): classical MDS
@@ -291,7 +317,9 @@ class Localizer {
   /// dead nodes neither join the member set nor relay two-hop membership.
   LocalFrame mdsmap_frame(net::NodeId i,
                           const std::vector<char>* alive = nullptr,
-                          FrameBuildStats* effort = nullptr) const;
+                          FrameBuildStats* effort = nullptr,
+                          EffortClass node_effort = EffortClass::kDefault)
+      const;
 
   /// The init stage of `mdsmap_frame` — member gather, measured-pair
   /// fill, shortest-path completion, classical-MDS spectral start —
@@ -306,7 +334,8 @@ class Localizer {
   /// `refine_embedding` on the scratch system.
   bool mdsmap_init(net::NodeId i, const std::vector<char>* alive,
                    LocalFrame& frame, std::vector<geom::Vec3>& init,
-                   std::size_t& measured_pairs) const;
+                   std::size_t& measured_pairs,
+                   EffortClass node_effort = EffortClass::kDefault) const;
 
   /// `mdsmap_frame` for a node whose first refinement attempt already ran
   /// elsewhere (the blocked batch): re-runs the init stage, then applies
@@ -314,11 +343,11 @@ class Localizer {
   /// the first attempt. Bit-identical to `mdsmap_frame` whenever
   /// `attempt0` is what the monolithic loop's first attempt would have
   /// produced (which the SmacofBatch equivalence guarantees).
-  LocalFrame mdsmap_frame_resume(net::NodeId i,
-                                 const std::vector<char>* alive,
-                                 const std::vector<geom::Vec3>& attempt0,
-                                 double attempt0_stress,
-                                 FrameBuildStats* effort = nullptr) const;
+  LocalFrame mdsmap_frame_resume(
+      net::NodeId i, const std::vector<char>* alive,
+      const std::vector<geom::Vec3>& attempt0, double attempt0_stress,
+      FrameBuildStats* effort = nullptr,
+      EffortClass node_effort = EffortClass::kDefault) const;
 
   /// Re-runs SMACOF on an (assembled) frame against every measured pair
   /// among its members — pairs that are mutual one-hop neighbors anywhere
@@ -350,7 +379,8 @@ class Localizer {
       std::vector<geom::Vec3> init, net::NodeId node, int sweeps_override = 0,
       double* stress_rms = nullptr, FrameBuildStats* effort = nullptr,
       const std::vector<geom::Vec3>* attempt0 = nullptr,
-      double attempt0_stress = 0.0) const;
+      double attempt0_stress = 0.0,
+      EffortClass node_effort = EffortClass::kDefault) const;
 
   const net::Network* network_;
   const net::NoisyDistanceModel* model_;
@@ -420,6 +450,13 @@ enum class FrameScope { kOneHop, kTwoHop };
 ///   - `stats` (optional): receives the build's `FrameBuildStats`. The
 ///     same totals are always added to the `loc.*` obs counters when obs
 ///     is enabled.
+///   - `effort` (optional): per-node effort classes (sized num_nodes) from
+///     the session's `core::EffortPlan`. A non-null plan routes the build
+///     through the per-node executor — the scheduled (warm/blocked) paths
+///     batch frames under one shared config and cannot honor per-node
+///     overrides — so escalation rebuilds, which always pass both
+///     `rebuild` and `effort`, reuse the masked/partial machinery as-is.
+///     An all-kDefault plan is bit-identical to a null one on that path.
 ///
 /// Full two-hop builds pick their executor by tier: kFast with warm_start
 /// runs the deterministic BFS wave schedule (frames solved wave by wave,
@@ -436,6 +473,7 @@ void build_all_frames(const Localizer& localizer, FrameScope scope,
                       std::vector<LocalFrame>& frames, unsigned threads = 0,
                       const std::vector<char>* alive = nullptr,
                       const std::vector<char>* rebuild = nullptr,
-                      FrameBuildStats* stats = nullptr);
+                      FrameBuildStats* stats = nullptr,
+                      const std::vector<EffortClass>* effort = nullptr);
 
 }  // namespace ballfit::localization

@@ -1,0 +1,289 @@
+// Effort control plane contract tests: escalation-off must be bit-identical
+// to a never-escalated run on both coordinate paths (unsharded and
+// sharded), escalation must be deterministic across thread and shard
+// counts, the fold-back must never lower a node's confidence class, the
+// Escalate fingerprint must cover every new config field, and sharded move
+// deltas must reproduce a cold rebuild bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/session.hpp"
+#include "core/sharded.hpp"
+#include "model/sampler.hpp"
+#include "model/shapes.hpp"
+#include "model/zoo.hpp"
+#include "net/builder.hpp"
+#include "obs/metrics.hpp"
+
+namespace ballfit::core {
+namespace {
+
+using net::NodeId;
+
+net::Network sphere_network(std::uint64_t seed, std::size_t surface = 160,
+                            std::size_t interior = 260) {
+  Rng rng(seed);
+  const model::SphereShape shape({0, 0, 0}, 3.0);
+  net::BuildOptions opt;
+  opt.surface_count = surface;
+  opt.interior_count = interior;
+  return net::build_network(shape, opt, rng);
+}
+
+net::Network fig1_hole_network(std::uint64_t seed) {
+  Rng rng(seed);
+  const model::Scenario scenario = model::fig1_network(0.45);
+  net::BuildOptions opt =
+      net::options_for_target_degree(*scenario.shape, 15.0, 0.5, rng);
+  return net::build_network(*scenario.shape, opt, rng);
+}
+
+PipelineConfig noisy_config() {
+  PipelineConfig cfg;
+  cfg.measurement_error = 0.2;
+  cfg.noise_seed = 7;
+  return cfg;
+}
+
+void expect_same_result(const PipelineResult& a, const PipelineResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.ubf_candidates, b.ubf_candidates) << what;
+  EXPECT_EQ(a.boundary, b.boundary) << what;
+  EXPECT_EQ(a.groups.leader, b.groups.leader) << what;
+  EXPECT_EQ(a.groups.groups, b.groups.groups) << what;
+}
+
+ShardedConfig cells(std::size_t x, std::size_t y, std::size_t z,
+                    unsigned halo = 3, unsigned threads = 2) {
+  ShardedConfig cfg;
+  cfg.cells_x = x;
+  cfg.cells_y = y;
+  cfg.cells_z = z;
+  cfg.halo_hops = halo;
+  cfg.threads = threads;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// (1) Escalation-off bit-identity: a session that ran the Escalate stage
+// must return to the exact never-escalated output when the stage is
+// switched off — no escalated artifact may leak through the caches — on
+// both coordinate paths, unsharded and sharded.
+
+TEST(EscalationOff, BitIdenticalAfterEscalatedRuns) {
+  for (const bool use_fig1 : {false, true}) {
+    const net::Network net =
+        use_fig1 ? fig1_hole_network(17) : sphere_network(17);
+    const std::string label = use_fig1 ? "fig1" : "sphere";
+    for (const bool true_coords : {false, true}) {
+      PipelineConfig off = noisy_config();
+      off.use_true_coordinates = true_coords;
+      PipelineConfig on = off;
+      on.escalate.enabled = true;
+
+      const PipelineResult fresh = detect_boundaries(net, off);
+      DetectionSession session(net);
+      expect_same_result(session.run(off), fresh, label + " first off run");
+      const PipelineResult escalated = session.run(on);
+      expect_same_result(session.run(off), fresh,
+                         label + " off run after escalated run");
+      ShardedDetector sharded(net, cells(2, 2, 1, /*halo=*/6));
+      expect_same_result(sharded.run(off), fresh, label + " sharded off");
+
+      if (true_coords) {
+        // The stage is a no-op on the oracle path: identical output and
+        // all-zero accounting.
+        expect_same_result(escalated, fresh, label + " true-coords no-op");
+        EXPECT_EQ(escalated.effort.planned_full, 0u);
+        EXPECT_EQ(escalated.effort.nodes_retested, 0u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (2) Escalation determinism: thread counts and shard layouts must not
+// change a single output bit, and the sharded escalated run must equal the
+// unsharded one (the halo >= 6 exactness contract).
+
+TEST(EscalationDeterminism, ThreadAndShardCountInvariant) {
+  const net::Network net = fig1_hole_network(23);
+  PipelineConfig on = noisy_config();
+  on.escalate.enabled = true;
+
+  DetectionSession reference_session(net);
+  const PipelineResult reference = reference_session.run(on);
+  // The run planned every node and actually escalated something — the
+  // determinism assertions below must not pass vacuously.
+  EXPECT_EQ(reference.effort.planned_cheap + reference.effort.planned_default +
+                reference.effort.planned_full,
+            net.num_nodes());
+  EXPECT_GT(reference.effort.escalated_nodes, 0u);
+  EXPECT_EQ(reference.effort.adopted + reference.effort.kept_first_pass,
+            reference.effort.nodes_retested);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    PipelineConfig cfg = on;
+    cfg.threads = threads;
+    DetectionSession session(net);
+    const PipelineResult r = session.run(cfg);
+    expect_same_result(r, reference,
+                       "threads=" + std::to_string(threads));
+    EXPECT_EQ(r.ubf_confidence, reference.ubf_confidence)
+        << "threads=" << threads;
+  }
+
+  const ShardedConfig layouts[] = {cells(1, 1, 1, 6), cells(2, 2, 1, 6),
+                                   cells(4, 2, 2, 6)};
+  for (const ShardedConfig& sc : layouts) {
+    ShardedDetector sharded(net, sc);
+    const PipelineResult r = sharded.run(on);
+    const std::string what = "shards=" + std::to_string(sharded.num_shards());
+    expect_same_result(r, reference, what);
+    EXPECT_EQ(r.ubf_confidence, reference.ubf_confidence) << what;
+    // The merged plan covers every (owned + halo) appearance at least once.
+    EXPECT_GE(r.effort.planned_cheap + r.effort.planned_default +
+                  r.effort.planned_full,
+              net.num_nodes());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (3) Monotonicity: the fold-back adopts an escalated verdict only when it
+// is at least as decisive as the first pass, so no scored node's distance
+// from the 0.5 decision threshold may shrink. (Stress-gated nodes enter
+// with confidence 0 — provenance, not a vote margin — and always adopt;
+// they are the conf == 0 entries the scan skips.)
+
+TEST(EscalationMonotonicity, NeverLowersConfidenceClass) {
+  const net::Network net = fig1_hole_network(29);
+  const PipelineConfig off = noisy_config();
+  PipelineConfig on = off;
+  on.escalate.enabled = true;
+
+  obs::set_enabled(true);
+  DetectionSession session(net);
+  const PipelineResult base = session.run(off);
+  const PipelineResult esc = session.run(on);
+  obs::set_enabled(false);
+
+  ASSERT_EQ(base.ubf_confidence.size(), net.num_nodes());
+  ASSERT_EQ(esc.ubf_confidence.size(), net.num_nodes());
+  std::size_t scored = 0;
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    if (base.ubf_confidence[i] <= 0.0f) continue;
+    ++scored;
+    const double base_d = std::abs(base.ubf_confidence[i] - 0.5);
+    const double esc_d = std::abs(esc.ubf_confidence[i] - 0.5);
+    EXPECT_GE(esc_d + 1e-9, base_d) << "node " << i;
+  }
+  EXPECT_GT(scored, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// (4) Fingerprint completeness: repeating an escalated run is a cache hit
+// with an identical artifact; changing any new config field (margin,
+// relax) recomputes the Escalate stage without touching UBF; toggling
+// `enabled` re-keys the UBF artifact itself (confidence collection is part
+// of its identity).
+
+TEST(EscalationFingerprint, CoversEveryNewConfigField) {
+  const net::Network net = sphere_network(31);
+  PipelineConfig on = noisy_config();
+  on.escalate.enabled = true;
+
+  DetectionSession session(net);
+  const PipelineResult r1 = session.run(on);
+  EXPECT_EQ(session.stats().escalate.full_runs, 1u);
+
+  const PipelineResult r2 = session.run(on);
+  EXPECT_EQ(session.stats().escalate.cache_hits, 1u);
+  EXPECT_EQ(session.stats().escalate.full_runs, 1u);
+  expect_same_result(r1, r2, "escalate cache hit");
+  EXPECT_EQ(r1.ubf_confidence, r2.ubf_confidence);
+
+  const std::uint64_t ubf_runs_before = session.stats().ubf.full_runs;
+  PipelineConfig margin = on;
+  margin.escalate.margin = 0.25;
+  (void)session.run(margin);
+  EXPECT_EQ(session.stats().escalate.full_runs, 2u) << "margin not keyed";
+  PipelineConfig relax = on;
+  relax.escalate.relax = 3.5;
+  (void)session.run(relax);
+  EXPECT_EQ(session.stats().escalate.full_runs, 3u) << "relax not keyed";
+  // Neither knob touches the UBF artifact.
+  EXPECT_EQ(session.stats().ubf.full_runs, ubf_runs_before);
+
+  // The enabled bit re-keys UBF: an escalate-off artifact (no confidence)
+  // must never serve an escalate-on run.
+  PipelineConfig off = noisy_config();
+  (void)session.run(off);
+  EXPECT_EQ(session.stats().ubf.full_runs, ubf_runs_before + 1)
+      << "enabled bit not in the UBF key";
+}
+
+// ---------------------------------------------------------------------------
+// (5) Sharded move deltas: in-cell moves route to every covering shard and
+// reproduce both the unsharded session on the moved network and a cold
+// detector rebuild, bit for bit. Fault injection stays rejected with the
+// ROADMAP re-key caveat in the message.
+
+TEST(ShardedMoves, DeltaEquivalentToColdRebuild) {
+  net::Network net = sphere_network(37);
+  net::Network twin = sphere_network(37);  // same seed → identical build
+  const PipelineConfig cfg = noisy_config();
+
+  ShardedDetector sharded(net, cells(2, 1, 1));
+  (void)sharded.run(cfg);  // warm the shard caches
+
+  // Small y-axis moves on an x-split lattice: the owning cell and every
+  // rim membership depend only on x, so the moves are always admissible.
+  NetworkDelta delta;
+  const double step = 0.05 * net.radio_range();
+  for (NodeId v = 0; v < net.num_nodes() && delta.moved.size() < 6; v += 37) {
+    geom::Vec3 p = net.position(v);
+    p.y += step;
+    delta.moved.push_back({v, p});
+  }
+  ASSERT_FALSE(delta.moved.empty());
+
+  sharded.apply(delta);
+  const PipelineResult via_delta = sharded.run(cfg);
+
+  DetectionSession reference(twin);
+  reference.apply(delta);  // also moves `twin` itself
+  expect_same_result(via_delta, reference.run(cfg), "delta vs unsharded");
+
+  ShardedDetector cold(static_cast<const net::Network&>(twin),
+                       cells(2, 1, 1));
+  expect_same_result(via_delta, cold.run(cfg), "delta vs cold rebuild");
+
+  // Moves on a const-bound detector stay rejected.
+  ShardedDetector frozen(static_cast<const net::Network&>(net),
+                         cells(2, 1, 1));
+  EXPECT_THROW(frozen.apply(delta), InvalidArgument);
+
+  // Fault injection stays rejected, and the message names the ROADMAP
+  // channel-RNG re-key caveat so callers know the actual blocker.
+  PipelineConfig faulty = cfg;
+  faulty.faults.emplace();
+  faulty.faults->drop_probability = 0.1;
+  try {
+    (void)sharded.run(faulty);
+    FAIL() << "faulted sharded run must throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("ROADMAP"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("re-key"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace ballfit::core
